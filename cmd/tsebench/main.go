@@ -1,0 +1,49 @@
+// Command tsebench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	tsebench -list           # show available experiment IDs
+//	tsebench -fig fig9a      # regenerate one table/figure
+//	tsebench -fig all        # regenerate everything (takes ~1 min)
+//
+// Each experiment prints the same rows/series the paper reports plus the
+// paper's published anchor values for comparison; EXPERIMENTS.md records
+// the paper-vs-measured comparison produced by `tsebench -fig all`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tse/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	fig := flag.String("fig", "all", "experiment ID to run, or 'all'")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *fig == "all" {
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tsebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	e, ok := experiments.ByID(*fig)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tsebench: unknown experiment %q; try -list\n", *fig)
+		os.Exit(2)
+	}
+	if err := e.Run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tsebench:", err)
+		os.Exit(1)
+	}
+}

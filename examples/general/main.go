@@ -1,0 +1,77 @@
+// General TSE (§6): the attacker knows nothing about the ACL and sends
+// uniformly random headers. This example compares the analytically
+// expected mask counts (Eq. 1–2, Fig. 9b) against a measured run of the
+// actual switch, then shows the §6.2 capacity degradation.
+//
+//	go run ./examples/general
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tse/internal/analysis"
+	"tse/internal/bitvec"
+	"tse/internal/core"
+	"tse/internal/dataplane"
+	"tse/internal/flowtable"
+	"tse/internal/vswitch"
+)
+
+func main() {
+	counts := []int{100, 1000, 10000, 50000}
+	uses := []flowtable.UseCase{flowtable.Dp, flowtable.SipDp, flowtable.SipSpDp}
+
+	fmt.Println("Expected (E) vs measured (M) MFC masks for random attack packets (Fig. 9b):")
+	fmt.Printf("%-8s", "packets")
+	for _, u := range uses {
+		fmt.Printf(" %9s %9s", u.String()+"(E)", u.String()+"(M)")
+	}
+	fmt.Println()
+
+	type state struct {
+		sw *vswitch.Switch
+		tr *core.Trace
+	}
+	states := make([]state, len(uses))
+	for i, u := range uses {
+		acl := flowtable.UseCaseACL(u, flowtable.ACLParams{})
+		sw, err := vswitch.New(vswitch.Config{Table: acl, DisableMicroflow: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := core.General(bitvec.IPv4Tuple, nil, counts[len(counts)-1],
+			core.GeneralOptions{Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		states[i] = state{sw, tr}
+	}
+	sent := 0
+	for _, n := range counts {
+		fmt.Printf("%-8d", n)
+		for i, u := range uses {
+			acl := flowtable.UseCaseACL(u, flowtable.ACLParams{})
+			e, err := analysis.ExpectedMasks(acl, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for k := sent; k < n; k++ {
+				states[i].sw.Process(states[i].tr.Headers[k], 0)
+			}
+			fmt.Printf(" %9.1f %9d", e, states[i].sw.MFC().MaskCount())
+		}
+		sent = n
+		fmt.Println()
+	}
+
+	fmt.Println("\nCapacity left for the victim at the 50k-packet mask counts (GRO OFF):")
+	model := dataplane.NewModel(dataplane.TCPGroOff)
+	for i, u := range uses {
+		masks := states[i].sw.MFC().MaskCount()
+		g := model.ThroughputForMasks(masks)
+		fmt.Printf("  %-8s %4d masks -> %5.2f Gbps (%.1f%% of baseline; paper: 52%%/12%%/1%%)\n",
+			u, masks, g, model.BaselinePct(g))
+	}
+	fmt.Println("\nNo crafted sequence, no signature — just random headers (§1: hard to detect).")
+}

@@ -1,0 +1,385 @@
+// Package alt implements the packet classifiers the paper recommends as
+// long-term replacements for TSS (§1, §7): hierarchical tries [31] and a
+// HyperCuts-style decision tree [10], next to a priority linear scan as
+// the correctness baseline.
+//
+// All three classify against the *rule set itself* rather than a per-flow
+// cache, so adversarial traffic cannot inflate their state or their lookup
+// cost — the structural reason they are "not vulnerable to the TSE attack".
+// The top-level benchmarks contrast their lookup cost under attack with
+// the exploding TSS megaflow cache.
+//
+// The tree classifiers require prefix-form rules: every constrained field
+// matches an MSB-first prefix. The paper's ACLs (exact or fully wildcarded
+// fields) are all prefix-form.
+package alt
+
+import (
+	"fmt"
+
+	"tse/internal/bitvec"
+	"tse/internal/flowtable"
+)
+
+// Classifier is a packet classifier over a fixed rule set.
+type Classifier interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Lookup returns the highest-priority rule matching h, or nil.
+	Lookup(h bitvec.Vec) *flowtable.Rule
+	// Cost returns the number of elementary steps (node visits or rule
+	// comparisons) the last Lookup performed. Not safe for concurrent
+	// use; intended for the evaluation harness.
+	Cost() int
+}
+
+// prefixLen returns the MSB-prefix length of field f in mask, and whether
+// the field's constrained bits form a pure prefix.
+func prefixLen(l *bitvec.Layout, mask bitvec.Vec, f int) (int, bool) {
+	w := l.Field(f).Width
+	n := 0
+	for i := 0; i < w; i++ {
+		if !mask.FieldBit(l, f, i) {
+			break
+		}
+		n++
+	}
+	for i := n; i < w; i++ {
+		if mask.FieldBit(l, f, i) {
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+// checkPrefixForm validates that every rule constrains every field by a
+// (possibly empty) prefix.
+func checkPrefixForm(tbl *flowtable.Table) error {
+	l := tbl.Layout()
+	for _, r := range tbl.Rules() {
+		for f := 0; f < l.NumFields(); f++ {
+			if _, ok := prefixLen(l, r.Mask, f); !ok {
+				return fmt.Errorf("alt: rule %q field %q is not prefix-form",
+					r.Name, l.Field(f).Name)
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Linear scan
+// ---------------------------------------------------------------------
+
+// Linear is the priority linear-scan reference classifier.
+type Linear struct {
+	tbl  *flowtable.Table
+	cost int
+}
+
+// NewLinear wraps a flow table.
+func NewLinear(tbl *flowtable.Table) *Linear { return &Linear{tbl: tbl} }
+
+// Name implements Classifier.
+func (c *Linear) Name() string { return "linear" }
+
+// Lookup implements Classifier.
+func (c *Linear) Lookup(h bitvec.Vec) *flowtable.Rule {
+	c.cost = 0
+	for _, r := range c.tbl.Rules() {
+		c.cost++
+		if r.Matches(h) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Cost implements Classifier.
+func (c *Linear) Cost() int { return c.cost }
+
+// ---------------------------------------------------------------------
+// Hierarchical tries
+// ---------------------------------------------------------------------
+
+// HTrie is a hierarchical ("trie of tries") classifier: a binary trie on
+// the first field's prefixes whose nodes hang tries over the second field,
+// and so on, with backtracking on lookup [Gupta & McKeown, 2001].
+type HTrie struct {
+	layout *bitvec.Layout
+	root   *hnode
+	order  map[*flowtable.Rule]int // match order for tie-breaking
+	cost   int
+}
+
+type hnode struct {
+	children [2]*hnode
+	next     *hnode            // trie over the following field
+	rules    []*flowtable.Rule // rules terminating here (last field only)
+}
+
+// NewHTrie builds the trie; the table must be prefix-form.
+func NewHTrie(tbl *flowtable.Table) (*HTrie, error) {
+	if err := checkPrefixForm(tbl); err != nil {
+		return nil, err
+	}
+	l := tbl.Layout()
+	t := &HTrie{layout: l, root: &hnode{}, order: make(map[*flowtable.Rule]int)}
+	for i, r := range tbl.Rules() {
+		t.order[r] = i
+		t.insert(r)
+	}
+	return t, nil
+}
+
+func (t *HTrie) insert(r *flowtable.Rule) {
+	l := t.layout
+	node := t.root
+	for f := 0; f < l.NumFields(); f++ {
+		plen, _ := prefixLen(l, r.Mask, f)
+		for b := 0; b < plen; b++ {
+			bit := 0
+			if r.Key.FieldBit(l, f, b) {
+				bit = 1
+			}
+			if node.children[bit] == nil {
+				node.children[bit] = &hnode{}
+			}
+			node = node.children[bit]
+		}
+		if f < l.NumFields()-1 {
+			if node.next == nil {
+				node.next = &hnode{}
+			}
+			node = node.next
+		}
+	}
+	node.rules = append(node.rules, r)
+}
+
+// Name implements Classifier.
+func (t *HTrie) Name() string { return "hierarchical-trie" }
+
+// Lookup implements Classifier. It walks the first-field trie along the
+// header bits and, at every visited node, backtracks into the next-field
+// trie — O(W^d) node visits for d fields of width W, independent of any
+// traffic history.
+func (t *HTrie) Lookup(h bitvec.Vec) *flowtable.Rule {
+	t.cost = 0
+	var best *flowtable.Rule
+	t.search(t.root, h, 0, &best)
+	return best
+}
+
+// Cost implements Classifier.
+func (t *HTrie) Cost() int { return t.cost }
+
+func (t *HTrie) search(node *hnode, h bitvec.Vec, f int, best **flowtable.Rule) {
+	l := t.layout
+	w := l.Field(f).Width
+	for b := 0; node != nil; b++ {
+		t.cost++
+		if f == l.NumFields()-1 {
+			for _, r := range node.rules {
+				t.consider(r, best)
+			}
+		} else if node.next != nil {
+			t.search(node.next, h, f+1, best)
+		}
+		if b >= w {
+			break
+		}
+		bit := 0
+		if h.FieldBit(l, f, b) {
+			bit = 1
+		}
+		node = node.children[bit]
+	}
+}
+
+func (t *HTrie) consider(r *flowtable.Rule, best **flowtable.Rule) {
+	if *best == nil {
+		*best = r
+		return
+	}
+	if t.order[r] < t.order[*best] {
+		*best = r
+	}
+}
+
+// ---------------------------------------------------------------------
+// HyperCuts-style decision tree
+// ---------------------------------------------------------------------
+
+// HyperCuts is a simplified HyperCuts/HiCuts decision tree: internal nodes
+// cut one dimension into equal-width intervals; leaves hold at most binth
+// rules scanned linearly in match order.
+type HyperCuts struct {
+	layout *bitvec.Layout
+	root   *hcnode
+	cost   int
+}
+
+type hcnode struct {
+	leaf     bool
+	rules    []*flowtable.Rule // leaf payload, in match order
+	dim      int               // cut dimension (field index)
+	lo, hi   uint64            // node's bounds on dim (inclusive)
+	children []*hcnode
+}
+
+// DefaultBinth is the default leaf size.
+const DefaultBinth = 4
+
+// DefaultCuts is the number of intervals per cut (a power of two).
+const DefaultCuts = 4
+
+// NewHyperCuts builds the tree; the table must be prefix-form and all
+// fields at most 64 bits wide.
+func NewHyperCuts(tbl *flowtable.Table, binth int) (*HyperCuts, error) {
+	if err := checkPrefixForm(tbl); err != nil {
+		return nil, err
+	}
+	l := tbl.Layout()
+	for f := 0; f < l.NumFields(); f++ {
+		if l.Field(f).Width > 64 {
+			return nil, fmt.Errorf("alt: hypercuts needs fields <= 64 bits, %q has %d",
+				l.Field(f).Name, l.Field(f).Width)
+		}
+	}
+	if binth <= 0 {
+		binth = DefaultBinth
+	}
+	hc := &HyperCuts{layout: l}
+	bounds := make([][2]uint64, l.NumFields())
+	for f := range bounds {
+		bounds[f] = [2]uint64{0, maxVal(l.Field(f).Width)}
+	}
+	hc.root = hc.build(tbl.Rules(), bounds, binth, 0)
+	return hc, nil
+}
+
+func maxVal(w int) uint64 {
+	if w == 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(w) - 1
+}
+
+// ruleRange converts a prefix rule field into an inclusive value range.
+func ruleRange(l *bitvec.Layout, r *flowtable.Rule, f int) (uint64, uint64) {
+	w := l.Field(f).Width
+	plen, _ := prefixLen(l, r.Mask, f)
+	if plen == 0 {
+		return 0, maxVal(w)
+	}
+	var val uint64
+	for i := 0; i < w; i++ {
+		val <<= 1
+		if i < plen && r.Key.FieldBit(l, f, i) {
+			val |= 1
+		}
+	}
+	span := maxVal(w - plen)
+	if w-plen == 0 {
+		span = 0
+	}
+	return val, val + span
+}
+
+func (hc *HyperCuts) build(rules []*flowtable.Rule, bounds [][2]uint64, binth, depth int) *hcnode {
+	node := &hcnode{}
+	if len(rules) <= binth || depth > 32 {
+		node.leaf = true
+		node.rules = rules
+		return node
+	}
+	// Choose the dimension with the most distinct rule ranges within the
+	// node's bounds (a standard HyperCuts heuristic).
+	l := hc.layout
+	bestDim, bestDistinct := -1, 1
+	for f := 0; f < l.NumFields(); f++ {
+		if bounds[f][0] == bounds[f][1] {
+			continue
+		}
+		distinct := map[[2]uint64]bool{}
+		for _, r := range rules {
+			lo, hi := ruleRange(l, r, f)
+			distinct[[2]uint64{lo, hi}] = true
+		}
+		if len(distinct) > bestDistinct {
+			bestDistinct, bestDim = len(distinct), f
+		}
+	}
+	if bestDim == -1 {
+		node.leaf = true
+		node.rules = rules
+		return node
+	}
+	lo, hi := bounds[bestDim][0], bounds[bestDim][1]
+	span := hi - lo
+	step := span/DefaultCuts + 1
+	node.dim, node.lo, node.hi = bestDim, lo, hi
+	progress := false
+	for c := 0; c < DefaultCuts; c++ {
+		clo := lo + uint64(c)*step
+		if clo > hi {
+			break
+		}
+		chi := clo + step - 1
+		if chi > hi || chi < clo /* overflow */ {
+			chi = hi
+		}
+		var sub []*flowtable.Rule
+		for _, r := range rules {
+			rlo, rhi := ruleRange(l, r, bestDim)
+			if rlo <= chi && rhi >= clo {
+				sub = append(sub, r)
+			}
+		}
+		if len(sub) < len(rules) {
+			progress = true
+		}
+		cb := make([][2]uint64, len(bounds))
+		copy(cb, bounds)
+		cb[bestDim] = [2]uint64{clo, chi}
+		node.children = append(node.children, hc.build(sub, cb, binth, depth+1))
+	}
+	if !progress {
+		// No child got smaller: cutting this dimension cannot help.
+		node.leaf = true
+		node.rules = rules
+		node.children = nil
+	}
+	return node
+}
+
+// Name implements Classifier.
+func (hc *HyperCuts) Name() string { return "hypercuts" }
+
+// Lookup implements Classifier.
+func (hc *HyperCuts) Lookup(h bitvec.Vec) *flowtable.Rule {
+	hc.cost = 0
+	node := hc.root
+	for !node.leaf {
+		hc.cost++
+		v := h.FieldUint64(hc.layout, node.dim)
+		span := node.hi - node.lo
+		step := span/DefaultCuts + 1
+		idx := int((v - node.lo) / step)
+		if idx >= len(node.children) {
+			idx = len(node.children) - 1
+		}
+		node = node.children[idx]
+	}
+	for _, r := range node.rules {
+		hc.cost++
+		if r.Matches(h) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Cost implements Classifier.
+func (hc *HyperCuts) Cost() int { return hc.cost }

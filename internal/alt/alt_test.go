@@ -1,0 +1,226 @@
+package alt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tse/internal/bitvec"
+	"tse/internal/core"
+	"tse/internal/flowtable"
+)
+
+// buildAll constructs every classifier over the table, failing the test on
+// construction errors.
+func buildAll(t *testing.T, tbl *flowtable.Table) []Classifier {
+	t.Helper()
+	ht, err := NewHTrie(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := NewHyperCuts(tbl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Classifier{NewLinear(tbl), ht, hc}
+}
+
+func randomHeader(l *bitvec.Layout, rng *rand.Rand) bitvec.Vec {
+	h := bitvec.NewVec(l)
+	for f := 0; f < l.NumFields(); f++ {
+		h.SetField(l, f, rng.Uint64())
+	}
+	return h
+}
+
+// TestAgreementOnPaperACLs: every classifier agrees with the flow table on
+// the paper's ACLs for exhaustive (toy) or randomized (IPv4) headers.
+func TestAgreementOnPaperACLs(t *testing.T) {
+	// Toy protocols, exhaustive.
+	for name, tbl := range map[string]*flowtable.Table{
+		"Fig1": flowtable.Fig1(), "Fig4": flowtable.Fig4(),
+	} {
+		cs := buildAll(t, tbl)
+		l := tbl.Layout()
+		total := 1 << uint(l.Bits())
+		for v := 0; v < total; v++ {
+			h := bitvec.NewVec(l)
+			for b := 0; b < l.Bits(); b++ {
+				if v>>uint(b)&1 == 1 {
+					h.SetBit(b)
+				}
+			}
+			want := tbl.Lookup(h)
+			for _, c := range cs {
+				if got := c.Lookup(h); got != want {
+					t.Fatalf("%s/%s: header %s -> %v, want %v",
+						name, c.Name(), h.Format(l), got, want)
+				}
+			}
+		}
+	}
+	// IPv4 use cases, randomized.
+	rng := rand.New(rand.NewSource(11))
+	for _, u := range flowtable.UseCases {
+		tbl := flowtable.UseCaseACL(u, flowtable.ACLParams{})
+		cs := buildAll(t, tbl)
+		for n := 0; n < 2000; n++ {
+			h := randomHeader(tbl.Layout(), rng)
+			want := tbl.Lookup(h)
+			for _, c := range cs {
+				if got := c.Lookup(h); got != want {
+					t.Fatalf("%v/%s: mismatch (got %v want %v)", u, c.Name(), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAgreementOnRandomPrefixTables: property test against random
+// prefix-form rule tables.
+func TestAgreementOnRandomPrefixTables(t *testing.T) {
+	l := bitvec.HYP2
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		tbl := flowtable.New(l)
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			key, mask := bitvec.NewVec(l), bitvec.NewVec(l)
+			for f := 0; f < l.NumFields(); f++ {
+				plen := rng.Intn(l.Field(f).Width + 1)
+				for b := 0; b < plen; b++ {
+					mask.SetFieldBit(l, f, b)
+					if rng.Intn(2) == 1 {
+						key.SetFieldBit(l, f, b)
+					}
+				}
+			}
+			tbl.MustAdd(&flowtable.Rule{Name: fmt.Sprintf("r%d", i), Priority: rng.Intn(5),
+				Action: flowtable.Action(rng.Intn(2)), Key: key, Mask: mask})
+		}
+		cs := buildAll(t, tbl)
+		for a := uint64(0); a < 8; a++ {
+			for b := uint64(0); b < 16; b++ {
+				h := bitvec.NewVec(l)
+				h.SetField(l, 0, a)
+				h.SetField(l, 1, b)
+				want := tbl.Lookup(h)
+				for _, c := range cs {
+					if got := c.Lookup(h); got != want {
+						t.Fatalf("trial %d %s: %03b|%04b -> %v, want %v",
+							trial, c.Name(), a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCostIndependentOfAttackTraffic is the §1/§7 claim: the alternative
+// classifiers' lookup cost does not change no matter how much adversarial
+// traffic has been classified, because they hold no per-flow state.
+func TestCostIndependentOfAttackTraffic(t *testing.T) {
+	tbl := flowtable.UseCaseACL(flowtable.SipSpDp, flowtable.ACLParams{})
+	cs := buildAll(t, tbl)
+	probe := randomHeader(bitvec.IPv4Tuple, rand.New(rand.NewSource(3)))
+	costBefore := make([]int, len(cs))
+	for i, c := range cs {
+		c.Lookup(probe)
+		costBefore[i] = c.Cost()
+	}
+	// "Classify" the full co-located adversarial trace.
+	tr, err := core.CoLocated(tbl, core.CoLocatedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range tr.Headers {
+		for _, c := range cs {
+			c.Lookup(h)
+		}
+	}
+	for i, c := range cs {
+		c.Lookup(probe)
+		if c.Cost() != costBefore[i] {
+			t.Errorf("%s: probe cost changed %d -> %d after attack traffic",
+				c.Name(), costBefore[i], c.Cost())
+		}
+	}
+}
+
+func TestPrefixFormRejection(t *testing.T) {
+	l := bitvec.HYP
+	tbl := flowtable.New(l)
+	// Mask 101: a gappy, non-prefix mask.
+	key, mask := bitvec.NewVec(l), bitvec.NewVec(l)
+	mask.SetFieldBit(l, 0, 0)
+	mask.SetFieldBit(l, 0, 2)
+	tbl.MustAdd(&flowtable.Rule{Name: "gappy", Priority: 1, Action: flowtable.Drop,
+		Key: key, Mask: mask})
+	if _, err := NewHTrie(tbl); err == nil {
+		t.Error("HTrie accepted non-prefix rule")
+	}
+	if _, err := NewHyperCuts(tbl, 0); err == nil {
+		t.Error("HyperCuts accepted non-prefix rule")
+	}
+}
+
+func TestHyperCutsWideFieldRejection(t *testing.T) {
+	l := bitvec.IPv6Tuple
+	tbl := flowtable.New(l)
+	tbl.MustAdd(&flowtable.Rule{Name: "dd", Priority: 0, Action: flowtable.Drop,
+		Key: bitvec.NewVec(l), Mask: bitvec.NewVec(l)})
+	if _, err := NewHyperCuts(tbl, 0); err == nil {
+		t.Error("HyperCuts accepted 128-bit fields")
+	}
+	// HTrie handles wide fields fine.
+	if _, err := NewHTrie(tbl); err != nil {
+		t.Errorf("HTrie rejected IPv6 table: %v", err)
+	}
+}
+
+func TestLookupNoMatch(t *testing.T) {
+	l := bitvec.HYP
+	tbl := flowtable.New(l)
+	k, m := bitvec.MustPattern(l, "111")
+	tbl.MustAdd(&flowtable.Rule{Name: "only", Priority: 1, Action: flowtable.Allow, Key: k, Mask: m})
+	h := bitvec.NewVec(l) // 000 matches nothing
+	for _, c := range buildAll(t, tbl) {
+		if got := c.Lookup(h); got != nil {
+			t.Errorf("%s: want nil, got %v", c.Name(), got)
+		}
+	}
+}
+
+func TestTieBreakMatchesTable(t *testing.T) {
+	l := bitvec.HYP
+	tbl := flowtable.New(l)
+	tbl.MustAdd(&flowtable.Rule{Name: "first", Priority: 5, Action: flowtable.Allow,
+		Key: bitvec.NewVec(l), Mask: bitvec.NewVec(l)})
+	tbl.MustAdd(&flowtable.Rule{Name: "second", Priority: 5, Action: flowtable.Drop,
+		Key: bitvec.NewVec(l), Mask: bitvec.NewVec(l)})
+	h := bitvec.NewVec(l)
+	want := tbl.Lookup(h)
+	for _, c := range buildAll(t, tbl) {
+		if got := c.Lookup(h); got != want {
+			t.Errorf("%s tie-break: got %q want %q", c.Name(), got.Name, want.Name)
+		}
+	}
+}
+
+func BenchmarkClassifiers(b *testing.B) {
+	tbl := flowtable.UseCaseACL(flowtable.SipSpDp, flowtable.ACLParams{})
+	ht, _ := NewHTrie(tbl)
+	hc, _ := NewHyperCuts(tbl, 0)
+	rng := rand.New(rand.NewSource(9))
+	headers := make([]bitvec.Vec, 256)
+	for i := range headers {
+		headers[i] = randomHeader(bitvec.IPv4Tuple, rng)
+	}
+	for _, c := range []Classifier{NewLinear(tbl), ht, hc} {
+		b.Run(c.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Lookup(headers[i%len(headers)])
+			}
+		})
+	}
+}

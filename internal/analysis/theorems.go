@@ -1,0 +1,127 @@
+// Package analysis implements the paper's analytical machinery: the
+// space–time trade-off bounds of Theorems 4.1 and 4.2, the generalized
+// k-mask TSS construction that attains them, and the expected-mask formulas
+// behind Fig. 9b (§6.1 Eq. 1–2 and the §11.3 convolution).
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"tse/internal/bitvec"
+	"tse/internal/flowtable"
+	"tse/internal/tss"
+)
+
+// Theorem41Space returns the Theorem 4.1 lower bound on the number of
+// *deny* keys any k-mask TSS construction needs for a w-bit
+// "single exact allow + DefaultDeny" ACL: k·(2^(w/k) − 1).
+//
+// k = 1 gives the exact-match extreme (2^w − 1 keys, Fig. 2); k = w gives
+// the wildcarding extreme (w keys, Fig. 3).
+func Theorem41Space(w, k int) float64 {
+	if k < 1 || k > w {
+		panic(fmt.Sprintf("analysis: k = %d out of range [1, %d]", k, w))
+	}
+	return float64(k) * (math.Exp2(float64(w)/float64(k)) - 1)
+}
+
+// Theorem42Space returns the Theorem 4.2 lower bound for the multi-field
+// ACL (n single-field exact allow rules + DefaultDeny): the product of the
+// per-field Theorem 4.1 bounds, evaluated at the given per-field k_i.
+func Theorem42Space(widths, ks []int) float64 {
+	if len(widths) != len(ks) {
+		panic("analysis: widths and ks length mismatch")
+	}
+	prod := 1.0
+	for i := range widths {
+		prod *= Theorem41Space(widths[i], ks[i])
+	}
+	return prod
+}
+
+// Theorem42Time returns the Theorem 4.2 time lower bound: the product of
+// the per-field mask counts k_i.
+func Theorem42Time(ks []int) int {
+	prod := 1
+	for _, k := range ks {
+		prod *= k
+	}
+	return prod
+}
+
+// KMaskConstruction builds an order-independent TSS entry set for the
+// single-field ACL "allow <allowVal>, DefaultDeny" using exactly k masks,
+// attaining the Theorem 4.1 trade-off point (k masks, k·(2^(w/k)−1) deny
+// keys when k divides w).
+//
+// The field's bits are split into k chunks. Mask i (1-based) covers chunks
+// 1..i; its keys hold the allowed value in chunks 1..i−1 and every value
+// different from the allowed one in chunk i — "the packet first deviates
+// from the allowed value inside chunk i". One final exact entry carries the
+// allow action. The construction generalises Fig. 3 (k = w) and Fig. 2
+// (k = 1).
+func KMaskConstruction(l *bitvec.Layout, field int, allowVal uint64, k int) ([]*tss.Entry, error) {
+	w := l.Field(field).Width
+	if w > 63 {
+		return nil, fmt.Errorf("analysis: field too wide (%d bits)", w)
+	}
+	if k < 1 || k > w {
+		return nil, fmt.Errorf("analysis: k = %d out of range [1, %d]", k, w)
+	}
+	allow := bitvec.NewVec(l)
+	allow.SetField(l, field, allowVal)
+
+	// Chunk boundaries: chunk i spans bits [cuts[i-1], cuts[i]).
+	cuts := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		cuts[i] = i * w / k
+	}
+	var entries []*tss.Entry
+	for i := 1; i <= k; i++ {
+		maskLen := cuts[i]
+		mask := bitvec.PrefixMask(l, field, maskLen)
+		chunkBits := cuts[i] - cuts[i-1]
+		// Enumerate chunk-i values that differ from the allowed value.
+		allowChunk := extractBits(l, allow, field, cuts[i-1], cuts[i])
+		for v := uint64(0); v < 1<<uint(chunkBits); v++ {
+			if v == allowChunk {
+				continue
+			}
+			key := allow.And(mask) // allowed prefix in chunks 1..i-1
+			setBits(l, key, field, cuts[i-1], cuts[i], v)
+			entries = append(entries, &tss.Entry{
+				Key: key, Mask: mask, Action: flowtable.Drop,
+			})
+		}
+	}
+	entries = append(entries, &tss.Entry{
+		Key: allow.Clone(), Mask: bitvec.PrefixMask(l, field, w), Action: flowtable.Allow,
+	})
+	return entries, nil
+}
+
+// extractBits reads bits [from, to) (MSB-first indices) of field f as an
+// unsigned integer.
+func extractBits(l *bitvec.Layout, v bitvec.Vec, f, from, to int) uint64 {
+	var out uint64
+	for b := from; b < to; b++ {
+		out <<= 1
+		if v.FieldBit(l, f, b) {
+			out |= 1
+		}
+	}
+	return out
+}
+
+// setBits writes val into bits [from, to) of field f.
+func setBits(l *bitvec.Layout, v bitvec.Vec, f, from, to int, val uint64) {
+	for b := to - 1; b >= from; b-- {
+		if val&1 == 1 {
+			v.SetFieldBit(l, f, b)
+		} else {
+			v.ClearFieldBit(l, f, b)
+		}
+		val >>= 1
+	}
+}

@@ -1,0 +1,139 @@
+// Package ascii renders small deterministic text charts so cmd/tsebench
+// can show the Fig. 8 time series as plots, not just tables. No styling,
+// no unicode beyond plain ASCII, suitable for logs and diffs.
+package ascii
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	// Name labels the line in the legend.
+	Name string
+	// Values are the y samples; all series of a chart share the x axis
+	// (sample index).
+	Values []float64
+	// Marker is the plot character; pick distinct markers per series.
+	Marker byte
+}
+
+// Chart is a multi-series line chart on a fixed character grid.
+type Chart struct {
+	// Title is printed above the grid.
+	Title string
+	// YLabel names the y axis (printed with the scale).
+	YLabel string
+	// XLabel names the x axis.
+	XLabel string
+	// Width and Height are the grid dimensions in characters; zero values
+	// select 72x16.
+	Width, Height int
+	// Series are the lines to draw, first drawn first (later series
+	// overdraw earlier ones where they collide).
+	Series []Series
+}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 16
+	}
+	maxLen := 0
+	maxVal := 0.0
+	for _, s := range c.Series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxLen == 0 {
+		return fmt.Errorf("ascii: chart has no data")
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			x := 0
+			if maxLen > 1 {
+				x = i * (width - 1) / (maxLen - 1)
+			}
+			y := int(v / maxVal * float64(height-1))
+			if y < 0 {
+				y = 0
+			}
+			if y > height-1 {
+				y = height - 1
+			}
+			grid[height-1-y][x] = marker
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	topLabel := fmt.Sprintf("%.4g", maxVal)
+	if c.YLabel != "" {
+		topLabel += " " + c.YLabel
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", topLabel); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "|%s\n", string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "+%s\n", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if c.XLabel != "" {
+		if _, err := fmt.Fprintf(w, " 0%s%s\n",
+			strings.Repeat(" ", max(1, width-len(c.XLabel)-4)), c.XLabel); err != nil {
+			return err
+		}
+	}
+	for _, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		if _, err := fmt.Fprintf(w, "  %c %s\n", marker, s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package ascii
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	c := &Chart{
+		Title:  "throughput",
+		YLabel: "Gbps",
+		XLabel: "t[s]",
+		Width:  40, Height: 8,
+		Series: []Series{
+			{Name: "victim", Values: []float64{10, 10, 1, 1, 10}, Marker: 'v'},
+			{Name: "attacker", Values: []float64{0, 0, 5, 5, 0}, Marker: 'a'},
+		},
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, needle := range []string{"throughput", "Gbps", "t[s]", "v victim", "a attacker", "+--"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("output missing %q:\n%s", needle, out)
+		}
+	}
+	// The victim line must appear both at the top (full rate) and near
+	// the bottom (under attack).
+	lines := strings.Split(out, "\n")
+	var gridLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") {
+			gridLines = append(gridLines, l)
+		}
+	}
+	if len(gridLines) != 8 {
+		t.Fatalf("grid has %d rows, want 8", len(gridLines))
+	}
+	if !strings.Contains(gridLines[0], "v") {
+		t.Error("full-rate samples not on the top row")
+	}
+	bottom := strings.Join(gridLines[5:], "")
+	if !strings.Contains(bottom, "v") {
+		t.Error("degraded samples not near the bottom")
+	}
+}
+
+func TestRenderDefaultsAndErrors(t *testing.T) {
+	if err := (&Chart{}).Render(&strings.Builder{}); err == nil {
+		t.Error("empty chart rendered")
+	}
+	c := &Chart{Series: []Series{{Name: "x", Values: []float64{1, 2, 3}}}}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "*") {
+		t.Error("default marker not used")
+	}
+}
+
+func TestRenderHandlesPathologicalValues(t *testing.T) {
+	c := &Chart{Width: 20, Height: 4, Series: []Series{
+		{Name: "bad", Values: []float64{math.NaN(), math.Inf(1), 0, 0}},
+	}}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	// All-zero/NaN data must not divide by zero; max defaults to 1.
+	if !strings.Contains(b.String(), "1") {
+		t.Errorf("zero-data scale wrong:\n%s", b.String())
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	c := &Chart{Width: 10, Height: 3, Series: []Series{{Name: "p", Values: []float64{5}}}}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}

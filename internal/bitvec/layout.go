@@ -1,0 +1,151 @@
+// Package bitvec implements bit-vector keys and masks over a configurable
+// header layout.
+//
+// A Layout is an ordered list of named header fields, each with a bit width.
+// The same machinery serves the paper's hypothetical 3-bit HYP protocol
+// (used in the worked examples of §3.2 and §4) and production header tuples
+// such as the IPv4 5-tuple (104 bits) or the IPv6 5-tuple (296 bits): the
+// classifier, megaflow generation, and attack code are all layout-generic.
+//
+// Within a field, bit 0 is the most significant bit. "Prefix of length p"
+// therefore always means the p most significant bits of the field, matching
+// the MSB-first unwildcarding used by trie-guided megaflow generation
+// (cf. Fig. 3 of the paper: packet 100 against allow-key 001 yields mask
+// 100, i.e. a 1-bit prefix).
+package bitvec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field describes one header field in a layout.
+type Field struct {
+	// Name identifies the field, e.g. "ip_src" or "tcp_dst".
+	Name string
+	// Width is the field's size in bits. Must be in [1, 4096].
+	Width int
+}
+
+// MaxFieldWidth bounds a single field's width. 4096 bits is far beyond any
+// real protocol header field (IPv6 addresses are 128) but keeps internal
+// arithmetic trivially overflow-free.
+const MaxFieldWidth = 4096
+
+// Layout is an immutable description of a packet header as a flat bit
+// string: the concatenation of its fields in order. Keys, masks, and packet
+// headers over the same Layout are all Vec values of the same length.
+type Layout struct {
+	fields  []Field
+	offsets []int // offsets[i] = first global bit index of field i
+	byName  map[string]int
+	bits    int // total width in bits
+	words   int // number of uint64 words backing a Vec
+}
+
+// NewLayout builds a Layout from the given fields. It returns an error if
+// there are no fields, a field has a non-positive or oversized width, or two
+// fields share a name.
+func NewLayout(fields ...Field) (*Layout, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("bitvec: layout needs at least one field")
+	}
+	l := &Layout{
+		fields:  make([]Field, len(fields)),
+		offsets: make([]int, len(fields)),
+		byName:  make(map[string]int, len(fields)),
+	}
+	copy(l.fields, fields)
+	off := 0
+	for i, f := range fields {
+		if f.Width <= 0 || f.Width > MaxFieldWidth {
+			return nil, fmt.Errorf("bitvec: field %q has invalid width %d", f.Name, f.Width)
+		}
+		if f.Name == "" {
+			return nil, fmt.Errorf("bitvec: field %d has empty name", i)
+		}
+		if _, dup := l.byName[f.Name]; dup {
+			return nil, fmt.Errorf("bitvec: duplicate field name %q", f.Name)
+		}
+		l.byName[f.Name] = i
+		l.offsets[i] = off
+		off += f.Width
+	}
+	l.bits = off
+	l.words = (off + 63) / 64
+	return l, nil
+}
+
+// MustLayout is like NewLayout but panics on error. Intended for
+// package-level layout construction where the fields are constants.
+func MustLayout(fields ...Field) *Layout {
+	l, err := NewLayout(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// NumFields returns the number of fields in the layout.
+func (l *Layout) NumFields() int { return len(l.fields) }
+
+// Field returns the i-th field. It panics if i is out of range.
+func (l *Layout) Field(i int) Field { return l.fields[i] }
+
+// FieldOffset returns the global bit offset of the i-th field.
+func (l *Layout) FieldOffset(i int) int { return l.offsets[i] }
+
+// FieldIndex returns the index of the field with the given name.
+func (l *Layout) FieldIndex(name string) (int, bool) {
+	i, ok := l.byName[name]
+	return i, ok
+}
+
+// Bits returns the total layout width in bits.
+func (l *Layout) Bits() int { return l.bits }
+
+// Words returns the number of 64-bit words a Vec over this layout uses.
+func (l *Layout) Words() int { return l.words }
+
+// String renders the layout as "name:width,name:width,...".
+func (l *Layout) String() string {
+	var b strings.Builder
+	for i, f := range l.fields {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%d", f.Name, f.Width)
+	}
+	return b.String()
+}
+
+// Standard layouts used throughout the repository.
+var (
+	// HYP is the paper's hypothetical 3-bit single-header protocol
+	// (§3.2, Fig. 1–3).
+	HYP = MustLayout(Field{Name: "HYP", Width: 3})
+
+	// HYP2 is the two-header toy protocol of §4.2 (Fig. 4–5):
+	// a 3-bit HYP field followed by a 4-bit HYP2 field.
+	HYP2 = MustLayout(Field{Name: "HYP", Width: 3}, Field{Name: "HYP2", Width: 4})
+
+	// IPv4Tuple is the classifier view of the IPv4 5-tuple the paper's
+	// full-blown attack targets (§5.2): source/destination address,
+	// protocol, and source/destination transport ports. 104 bits.
+	IPv4Tuple = MustLayout(
+		Field{Name: "ip_src", Width: 32},
+		Field{Name: "ip_dst", Width: 32},
+		Field{Name: "ip_proto", Width: 8},
+		Field{Name: "tp_src", Width: 16},
+		Field{Name: "tp_dst", Width: 16},
+	)
+
+	// IPv6Tuple is the IPv6 equivalent (§5.4). 296 bits.
+	IPv6Tuple = MustLayout(
+		Field{Name: "ip6_src", Width: 128},
+		Field{Name: "ip6_dst", Width: 128},
+		Field{Name: "ip_proto", Width: 8},
+		Field{Name: "tp_src", Width: 16},
+		Field{Name: "tp_dst", Width: 16},
+	)
+)

@@ -1,0 +1,392 @@
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vec is a fixed-width bit vector over some Layout: a packet header, a
+// lookup key, or a wildcard mask. The global bit index b lives in word
+// b/64 at bit position b%64 counted from the least significant bit; callers
+// never need to know this, all access goes through Layout-aware methods.
+//
+// A Vec does not carry its Layout; the caller supplies it. This keeps Vec a
+// plain slice (cheap to hash and to use as a map key via Key()).
+type Vec []uint64
+
+// NewVec returns an all-zero Vec sized for the layout.
+func NewVec(l *Layout) Vec { return make(Vec, l.Words()) }
+
+// Clone returns an independent copy of v.
+func (v Vec) Clone() Vec {
+	c := make(Vec, len(v))
+	copy(c, v)
+	return c
+}
+
+// Key returns a string usable as a map key. Two Vecs of the same length
+// have equal Keys iff they are bit-for-bit equal.
+func (v Vec) Key() string {
+	b := make([]byte, len(v)*8)
+	for i, w := range v {
+		for j := 0; j < 8; j++ {
+			b[i*8+j] = byte(w >> (8 * j))
+		}
+	}
+	return string(b)
+}
+
+// Bit reports whether global bit index b is set.
+func (v Vec) Bit(b int) bool { return v[b/64]>>(uint(b)%64)&1 == 1 }
+
+// SetBit sets global bit index b.
+func (v Vec) SetBit(b int) { v[b/64] |= 1 << (uint(b) % 64) }
+
+// ClearBit clears global bit index b.
+func (v Vec) ClearBit(b int) { v[b/64] &^= 1 << (uint(b) % 64) }
+
+// FieldBit reports whether bit i (0 = MSB) of field f is set.
+func (v Vec) FieldBit(l *Layout, f, i int) bool {
+	return v.Bit(l.offsets[f] + i)
+}
+
+// SetFieldBit sets bit i (0 = MSB) of field f.
+func (v Vec) SetFieldBit(l *Layout, f, i int) {
+	v.SetBit(l.offsets[f] + i)
+}
+
+// ClearFieldBit clears bit i (0 = MSB) of field f.
+func (v Vec) ClearFieldBit(l *Layout, f, i int) {
+	v.ClearBit(l.offsets[f] + i)
+}
+
+// FlipFieldBit inverts bit i (0 = MSB) of field f. This is the elementary
+// operation of the paper's bit-inversion adversarial trace (§5.1).
+func (v Vec) FlipFieldBit(l *Layout, f, i int) {
+	b := l.offsets[f] + i
+	v[b/64] ^= 1 << (uint(b) % 64)
+}
+
+// SetField stores val into field f. Only the low Width bits of val are
+// used; bit Width-1 of the stored value lands on the field's LSB. Panics if
+// the field is wider than 64 bits (use SetFieldBytes for those).
+func (v Vec) SetField(l *Layout, f int, val uint64) {
+	w := l.fields[f].Width
+	if w > 64 {
+		panic(fmt.Sprintf("bitvec: SetField on %d-bit field %q; use SetFieldBytes", w, l.fields[f].Name))
+	}
+	for i := 0; i < w; i++ {
+		// Bit i (MSB-first) corresponds to value bit w-1-i.
+		if val>>(uint(w-1-i))&1 == 1 {
+			v.SetFieldBit(l, f, i)
+		} else {
+			v.ClearFieldBit(l, f, i)
+		}
+	}
+}
+
+// FieldUint64 extracts field f as an unsigned integer. Panics if the field
+// is wider than 64 bits.
+func (v Vec) FieldUint64(l *Layout, f int) uint64 {
+	w := l.fields[f].Width
+	if w > 64 {
+		panic(fmt.Sprintf("bitvec: FieldUint64 on %d-bit field %q; use FieldBytes", w, l.fields[f].Name))
+	}
+	var val uint64
+	for i := 0; i < w; i++ {
+		val <<= 1
+		if v.FieldBit(l, f, i) {
+			val |= 1
+		}
+	}
+	return val
+}
+
+// SetFieldBytes stores a big-endian byte string into field f. The field
+// width must equal 8*len(b). Used for 128-bit IPv6 addresses.
+func (v Vec) SetFieldBytes(l *Layout, f int, b []byte) {
+	w := l.fields[f].Width
+	if w != 8*len(b) {
+		panic(fmt.Sprintf("bitvec: SetFieldBytes: field %q is %d bits, got %d bytes", l.fields[f].Name, w, len(b)))
+	}
+	for i := 0; i < w; i++ {
+		if b[i/8]>>(7-uint(i)%8)&1 == 1 {
+			v.SetFieldBit(l, f, i)
+		} else {
+			v.ClearFieldBit(l, f, i)
+		}
+	}
+}
+
+// FieldBytes extracts field f as a big-endian byte string. The field width
+// must be a multiple of 8.
+func (v Vec) FieldBytes(l *Layout, f int) []byte {
+	w := l.fields[f].Width
+	if w%8 != 0 {
+		panic(fmt.Sprintf("bitvec: FieldBytes on %d-bit field %q", w, l.fields[f].Name))
+	}
+	b := make([]byte, w/8)
+	for i := 0; i < w; i++ {
+		if v.FieldBit(l, f, i) {
+			b[i/8] |= 1 << (7 - uint(i)%8)
+		}
+	}
+	return b
+}
+
+// And returns v AND o as a new Vec.
+func (v Vec) And(o Vec) Vec {
+	r := make(Vec, len(v))
+	for i := range v {
+		r[i] = v[i] & o[i]
+	}
+	return r
+}
+
+// Or returns v OR o as a new Vec.
+func (v Vec) Or(o Vec) Vec {
+	r := make(Vec, len(v))
+	for i := range v {
+		r[i] = v[i] | o[i]
+	}
+	return r
+}
+
+// AndNot returns v AND NOT o as a new Vec.
+func (v Vec) AndNot(o Vec) Vec {
+	r := make(Vec, len(v))
+	for i := range v {
+		r[i] = v[i] &^ o[i]
+	}
+	return r
+}
+
+// AndInto computes v AND o into dst (which must have the same length),
+// avoiding allocation on the classifier's hot lookup path.
+func (v Vec) AndInto(o, dst Vec) {
+	for i := range v {
+		dst[i] = v[i] & o[i]
+	}
+}
+
+// Equal reports bit-for-bit equality.
+func (v Vec) Equal(o Vec) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether no bit is set.
+func (v Vec) IsZero() bool {
+	for _, w := range v {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesCount returns the number of set bits.
+func (v Vec) OnesCount() int {
+	n := 0
+	for _, w := range v {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// SubsetOf reports whether every set bit of v is also set in o
+// (v ⊆ o viewed as bit sets).
+func (v Vec) SubsetOf(o Vec) bool {
+	for i := range v {
+		if v[i]&^o[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash returns a 64-bit FNV-1a hash of the vector's bits. Used to spread
+// masks across buckets; equality must still be confirmed with Equal.
+func (v Vec) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range v {
+		for j := 0; j < 8; j++ {
+			h ^= w >> (8 * j) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// Format renders the vector field by field in binary, e.g. "001|1111" for
+// the HYP2 layout. Wide fields (>32 bits) are rendered in hex.
+func (v Vec) Format(l *Layout) string {
+	var b strings.Builder
+	for f := 0; f < l.NumFields(); f++ {
+		if f > 0 {
+			b.WriteByte('|')
+		}
+		w := l.fields[f].Width
+		if w <= 32 {
+			for i := 0; i < w; i++ {
+				if v.FieldBit(l, f, i) {
+					b.WriteByte('1')
+				} else {
+					b.WriteByte('0')
+				}
+			}
+		} else {
+			nibbles := (w + 3) / 4
+			for n := 0; n < nibbles; n++ {
+				var nib uint64
+				for i := n * 4; i < (n+1)*4 && i < w; i++ {
+					nib <<= 1
+					if v.FieldBit(l, f, i) {
+						nib |= 1
+					}
+				}
+				fmt.Fprintf(&b, "%x", nib)
+			}
+		}
+	}
+	return b.String()
+}
+
+// FormatMasked renders key/mask pairs the way the paper's figures do:
+// matched bits as 0/1, wildcarded bits as '*'. For example entry #3 of
+// Fig. 3 renders as "01*".
+func FormatMasked(l *Layout, key, mask Vec) string {
+	var b strings.Builder
+	for f := 0; f < l.NumFields(); f++ {
+		if f > 0 {
+			b.WriteByte('|')
+		}
+		w := l.fields[f].Width
+		for i := 0; i < w; i++ {
+			switch {
+			case !mask.FieldBit(l, f, i):
+				b.WriteByte('*')
+			case key.FieldBit(l, f, i):
+				b.WriteByte('1')
+			default:
+				b.WriteByte('0')
+			}
+		}
+	}
+	return b.String()
+}
+
+// PrefixMask returns a mask with the plen most significant bits of field f
+// set and everything else clear.
+func PrefixMask(l *Layout, f, plen int) Vec {
+	if plen < 0 || plen > l.fields[f].Width {
+		panic(fmt.Sprintf("bitvec: prefix length %d out of range for %d-bit field %q", plen, l.fields[f].Width, l.fields[f].Name))
+	}
+	m := NewVec(l)
+	for i := 0; i < plen; i++ {
+		m.SetFieldBit(l, f, i)
+	}
+	return m
+}
+
+// FieldMask returns a mask covering all bits of field f.
+func FieldMask(l *Layout, f int) Vec {
+	return PrefixMask(l, f, l.fields[f].Width)
+}
+
+// FullMask returns a mask with every bit of the layout set (exact match).
+func FullMask(l *Layout) Vec {
+	m := NewVec(l)
+	for f := 0; f < l.NumFields(); f++ {
+		for i := 0; i < l.fields[f].Width; i++ {
+			m.SetFieldBit(l, f, i)
+		}
+	}
+	return m
+}
+
+// Covers reports whether the key/mask pair matches header h:
+// h AND mask == key.
+func Covers(key, mask, h Vec) bool {
+	for i := range h {
+		if h[i]&mask[i] != key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlap reports whether two key/mask pairs overlap, i.e. whether some
+// header matches both. Two entries overlap iff their keys agree on the
+// intersection of their masks. This is the test behind the paper's
+// independence invariant Inv(2) (§3.2).
+func Overlap(k1, m1, k2, m2 Vec) bool {
+	for i := range k1 {
+		common := m1[i] & m2[i]
+		if k1[i]&common != k2[i]&common {
+			return false
+		}
+	}
+	return true
+}
+
+// CoverageCount returns the number of distinct headers matched by a
+// key/mask pair over the layout: 2^(wildcarded bits). Returns the count as
+// a float64 to avoid overflow on wide layouts (e.g. IPv6's 296 bits).
+func CoverageCount(l *Layout, mask Vec) float64 {
+	wild := l.Bits() - mask.OnesCount()
+	// 2^wild; exact for wild < 53 which covers all interpretation needs.
+	out := 1.0
+	for i := 0; i < wild; i++ {
+		out *= 2
+	}
+	return out
+}
+
+// ParsePattern parses a figure-style pattern such as "001", "1**", or
+// "001|1111" into a key/mask pair over the layout. '|' separates fields
+// (optional if widths are unambiguous: the pattern may also be given as one
+// undelimited string whose total length equals the layout width). '*' is a
+// wildcard bit. Used heavily in tests to state expected MFC contents
+// exactly as the paper's figures print them.
+func ParsePattern(l *Layout, pat string) (key, mask Vec, err error) {
+	flat := strings.ReplaceAll(pat, "|", "")
+	if len(flat) != l.Bits() {
+		return nil, nil, fmt.Errorf("bitvec: pattern %q has %d bits, layout has %d", pat, len(flat), l.Bits())
+	}
+	key, mask = NewVec(l), NewVec(l)
+	for b, c := range flat {
+		switch c {
+		case '0':
+			mask.SetBit(b)
+		case '1':
+			mask.SetBit(b)
+			key.SetBit(b)
+		case '*':
+		default:
+			return nil, nil, fmt.Errorf("bitvec: bad pattern char %q in %q", c, pat)
+		}
+	}
+	return key, mask, nil
+}
+
+// MustPattern is ParsePattern that panics on error; for tests and fixtures.
+func MustPattern(l *Layout, pat string) (key, mask Vec) {
+	key, mask, err := ParsePattern(l, pat)
+	if err != nil {
+		panic(err)
+	}
+	return key, mask
+}

@@ -1,0 +1,160 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"tse/internal/bitvec"
+	"tse/internal/core"
+	"tse/internal/flowtable"
+	"tse/internal/tss"
+	"tse/internal/vswitch"
+)
+
+// This file wires the three Fig. 8 experiments exactly as §5.4–§5.6
+// describe them, so tests, the tsebench harness, and the examples share
+// one definition.
+
+// victimHeader builds the benign flow's classifier key: a TCP connection
+// to the allowed destination port (matching rule #1 of the tenant ACL).
+func victimHeader(srcIP uint32, srcPort, dstPort uint16) bitvec.Vec {
+	l := bitvec.IPv4Tuple
+	h := bitvec.NewVec(l)
+	sip, _ := l.FieldIndex("ip_src")
+	dip, _ := l.FieldIndex("ip_dst")
+	proto, _ := l.FieldIndex("ip_proto")
+	sp, _ := l.FieldIndex("tp_src")
+	dp, _ := l.FieldIndex("tp_dst")
+	h.SetField(l, sip, uint64(srcIP))
+	h.SetField(l, dip, 0xc0a80002) // 192.168.0.2: the victim service
+	h.SetField(l, proto, 6)
+	h.SetField(l, sp, uint64(srcPort))
+	h.SetField(l, dp, uint64(dstPort))
+	return h
+}
+
+// Fig8aScenario reproduces the synthetic-testbed run of Fig. 8a: three
+// concurrent TCP victim flows on a 10 Gbps link (aggregating ~9.7 Gbps),
+// a SipDp co-located attack at 100 pps active during [t1, t2) = [30, 60),
+// and the 10 s recovery delay after t2 caused by the MFC idle timeout.
+func Fig8aScenario() (*Scenario, error) {
+	tbl := flowtable.UseCaseACL(flowtable.SipDp, flowtable.ACLParams{})
+	sw, err := vswitch.New(vswitch.Config{Table: tbl, DisableMicroflow: true})
+	if err != nil {
+		return nil, err
+	}
+	trace, err := core.CoLocated(tbl, core.CoLocatedOptions{Noise: true, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	victims := make([]*Victim, 3)
+	for i := range victims {
+		victims[i] = &Victim{
+			Name:        fmt.Sprintf("Victim %d", i+1),
+			Header:      victimHeader(0x0a000010+uint32(i), uint16(40000+i), 80),
+			OfferedGbps: 9.7 / 3,
+		}
+	}
+	return &Scenario{
+		Name:        "Fig8a-synthetic-SipDp",
+		Switch:      sw,
+		NIC:         TCPGroOff,
+		Victims:     victims,
+		Phases:      []AttackPhase{{Trace: trace, RatePps: 100, StartSec: 30, StopSec: 60}},
+		DurationSec: 90,
+	}, nil
+}
+
+// Fig8bScenario reproduces the OpenStack run of Fig. 8b: the CMS API only
+// permits the SipDp scenario (§5.5, §7); the attacker sends at 100 pps
+// from t = 0, stops at t = 60, restarts at t = 90; the victim joins with a
+// full-rate UDP iperf at t = 30. The victim's EstablishedProtection
+// reproduces the paper's (unexplained) observation that the re-activated
+// attack barely harms long-lasting flows.
+func Fig8bScenario() (*Scenario, error) {
+	tbl := flowtable.UseCaseACL(flowtable.SipDp, flowtable.ACLParams{})
+	sw, err := vswitch.New(vswitch.Config{Table: tbl, DisableMicroflow: true})
+	if err != nil {
+		return nil, err
+	}
+	trace, err := core.CoLocated(tbl, core.CoLocatedOptions{Noise: true, Seed: 2})
+	if err != nil {
+		return nil, err
+	}
+	victim := &Victim{
+		Name:                  "Victim",
+		Header:                victimHeader(0x0a000020, 41000, 80),
+		OfferedGbps:           1.3, // Fig. 8b's y-axis tops out at ~1.3 Gbps (UDP iperf)
+		StartSec:              30,
+		EstablishedProtection: 0.9,
+		EstablishedAfterSec:   15,
+	}
+	return &Scenario{
+		Name:   "Fig8b-openstack-SipDp",
+		Switch: sw,
+		NIC:    UDPProfile,
+		// The OpenStack testbed is two laptop-class i5-6300U boxes with
+		// 2 GB RAM (Table 1), far weaker than the synthetic Xeon server.
+		BudgetOverride: referenceBudget() / 3,
+		Victims:        []*Victim{victim},
+		Phases: []AttackPhase{
+			{Trace: trace, RatePps: 100, StartSec: 0, StopSec: 60},
+			{Trace: trace, RatePps: 100, StartSec: 90, StopSec: 120},
+		},
+		DurationSec: 120,
+	}, nil
+}
+
+// Fig8cScenario reproduces the Kubernetes run of Fig. 8c: a 1 Gbps virtio
+// link on a weak 2-core vagrant box. The victim starts immediately and
+// reaches line rate; the attacker starts sending at t1 = 30 at 1000 pps
+// against the *benign* ACL (minor glitch), injects the full Fig. 6 ACL at
+// t2 = 60 (SipSpDp becomes possible; the victim drops ~80 %), and raises
+// the rate to 2000 pps at t4 = 120, at which point attack traffic alone
+// exhausts the CPU budget: full denial of service.
+func Fig8cScenario() (*Scenario, error) {
+	// Before t2 the switch runs the benign Baseline ACL.
+	benign := flowtable.UseCaseACL(flowtable.Baseline, flowtable.ACLParams{})
+	malicious := flowtable.UseCaseACL(flowtable.SipSpDp, flowtable.ACLParams{})
+	// The victim's megaflow is installed first; the kernel datapath scans
+	// masks in insertion order, so the long-running victim keeps a cheap
+	// scan position and the damage comes from CPU exhaustion (in contrast
+	// to the mask-position damage of Fig. 8a).
+	sw, err := vswitch.New(vswitch.Config{Table: benign, DisableMicroflow: true,
+		Order: tss.OrderInsertion})
+	if err != nil {
+		return nil, err
+	}
+	trace, err := core.CoLocated(malicious, core.CoLocatedOptions{Noise: true, Seed: 3})
+	if err != nil {
+		return nil, err
+	}
+	victim := &Victim{
+		Name:        "Victim",
+		Header:      victimHeader(0x0a000030, 42000, 80),
+		OfferedGbps: 1.0,
+	}
+	// A 2-core vagrant box: a fraction of the synthetic server's budget.
+	budget := referenceBudget() / 2
+	return &Scenario{
+		Name:           "Fig8c-kubernetes-SipSpDp",
+		Switch:         sw,
+		NIC:            lineLimited(UDPProfile, 1.0),
+		BudgetOverride: budget,
+		Victims:        []*Victim{victim},
+		Phases: []AttackPhase{
+			{Trace: trace, RatePps: 1000, StartSec: 30, StopSec: 120, InjectACL: nil},
+			// The ACL injection at t2 = 60 is modelled as a zero-rate
+			// phase carrying only the table swap.
+			{Trace: trace, RatePps: 0, StartSec: 60, StopSec: 61, InjectACL: malicious},
+			{Trace: trace, RatePps: 2000, StartSec: 120, StopSec: 150},
+		},
+		DurationSec: 150,
+	}, nil
+}
+
+// lineLimited returns a copy of the profile with a different line rate
+// (virtio links in the Kubernetes testbed support 1 Gbps, §5.6).
+func lineLimited(p NICProfile, gbps float64) NICProfile {
+	p.LineRateGbps = gbps
+	return p
+}

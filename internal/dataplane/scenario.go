@@ -1,0 +1,254 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"tse/internal/bitvec"
+	"tse/internal/core"
+	"tse/internal/flowtable"
+	"tse/internal/vswitch"
+)
+
+// This file implements the time-stepped attack simulator that regenerates
+// the Fig. 8 time series: victims offering load, an attacker replaying an
+// adversarial trace at a configured rate, the real switch in the middle,
+// and the cost model arbitrating the per-second CPU budget.
+
+// Victim is one benign flow (an iperf session in the paper's testbeds).
+type Victim struct {
+	// Name labels the series ("Victim 1").
+	Name string
+	// Header is the flow's representative classifier key; all its packets
+	// share it (single transport connection).
+	Header bitvec.Vec
+	// OfferedGbps is the offered load (iperf full rate).
+	OfferedGbps float64
+	// StartSec is the virtual second the flow begins.
+	StartSec int
+	// EstablishedProtection, if > 0, is the fraction of an established
+	// flow's packets that bypass the megaflow scan. This phenomenological
+	// knob reproduces the Fig. 8b anomaly the paper observed on OpenStack
+	// ("the attack is effective only against newly established target
+	// flows but causes minor harm to long-lasting flows"; the OVS authors
+	// could not explain it, §5.5). Zero for mechanistic scenarios.
+	EstablishedProtection float64
+	// EstablishedAfterSec is how many consecutive seconds at >= 50 % of
+	// the offered rate make the flow "established".
+	EstablishedAfterSec int
+
+	streak      int
+	established bool
+}
+
+// AttackPhase is one attacker activity interval.
+type AttackPhase struct {
+	// Trace is replayed cyclically (keeping the spawned megaflows warm).
+	Trace *core.Trace
+	// RatePps is the attack packet rate.
+	RatePps int
+	// StartSec (inclusive) and StopSec (exclusive) bound the phase.
+	StartSec, StopSec int
+	// InjectACL, if non-nil, replaces the switch's ACL when the phase
+	// starts — the Fig. 8c Kubernetes move where the attacker installs
+	// the malicious ACL mid-experiment (t2). The switch is rebuilt with
+	// the same configuration but the new table.
+	InjectACL *flowtable.Table
+}
+
+// Scenario wires a complete experiment.
+type Scenario struct {
+	// Name labels the experiment.
+	Name string
+	// Switch is the device under test.
+	Switch *vswitch.Switch
+	// NIC selects the cost profile.
+	NIC NICProfile
+	// BudgetOverride, if > 0, replaces the calibrated CPU budget
+	// (the Fig. 8c Kubernetes testbed is a 2-core vagrant box, far weaker
+	// than the synthetic server).
+	BudgetOverride float64
+	// Victims are the benign flows.
+	Victims []*Victim
+	// Phases are the attacker activity intervals.
+	Phases []AttackPhase
+	// DurationSec is the experiment length.
+	DurationSec int
+}
+
+// Sample is one per-second observation.
+type Sample struct {
+	// Sec is the virtual time.
+	Sec int
+	// VictimGbps has one throughput per scenario victim (zero before its
+	// start).
+	VictimGbps []float64
+	// TotalVictimGbps sums VictimGbps (the "Victim SUM" series of
+	// Fig. 8a).
+	TotalVictimGbps float64
+	// AttackPps is the attack rate in effect.
+	AttackPps int
+	// Masks and Entries snapshot the MFC (the megaflow count axis of
+	// Fig. 8c).
+	Masks, Entries int
+	// AttackCost is the CPU share consumed by attack traffic, and Budget
+	// the total, letting callers derive slow-path load.
+	AttackCost, Budget float64
+}
+
+// Run executes the scenario and returns one sample per second.
+func (sc *Scenario) Run() ([]Sample, error) {
+	if sc.Switch == nil {
+		return nil, fmt.Errorf("dataplane: scenario %q has no switch", sc.Name)
+	}
+	if err := sc.NIC.Validate(); err != nil {
+		return nil, err
+	}
+	model := NewModel(sc.NIC)
+	budget := model.Budget()
+	if sc.BudgetOverride > 0 {
+		budget = sc.BudgetOverride
+	}
+	cursor := make([]int, len(sc.Phases)) // per-phase trace replay position
+
+	samples := make([]Sample, 0, sc.DurationSec)
+	for t := 0; t < sc.DurationSec; t++ {
+		now := int64(t)
+		sc.Switch.Tick(now) // 10 s idle eviction
+
+		// Attack activity.
+		attackCost := 0.0
+		attackPps := 0
+		for i := range sc.Phases {
+			ph := &sc.Phases[i]
+			if t < ph.StartSec || t >= ph.StopSec {
+				continue
+			}
+			if t == ph.StartSec && ph.InjectACL != nil {
+				if err := sc.swapACL(ph.InjectACL); err != nil {
+					return nil, err
+				}
+			}
+			attackPps += ph.RatePps
+			attackCost += sc.replay(ph, &cursor[i], now, sc.NIC)
+		}
+
+		// Victims: probe each flow's current classification cost.
+		remaining := budget - attackCost
+		if remaining < 0 {
+			remaining = 0
+		}
+		costs := make([]float64, len(sc.Victims))
+		offered := make([]float64, len(sc.Victims))
+		for i, v := range sc.Victims {
+			if t < v.StartSec {
+				continue
+			}
+			verdict := sc.Switch.Process(v.Header, now)
+			probes := float64(verdict.Probes)
+			cost := (sc.NIC.BaseCost + sc.NIC.ProbeCost*probes) / sc.NIC.Coalesce
+			if verdict.Path == vswitch.PathSlow {
+				cost += sc.NIC.SlowPathCost / sc.NIC.Coalesce
+			}
+			if v.established && v.EstablishedProtection > 0 {
+				cost = v.EstablishedProtection*sc.NIC.MicroflowCost +
+					(1-v.EstablishedProtection)*cost
+			}
+			costs[i] = cost
+			offered[i] = v.OfferedGbps * 1e9 / 8 / PacketBytes // pps
+		}
+
+		pps := waterfill(offered, costs, remaining, sc.NIC.LinePps())
+
+		sample := Sample{
+			Sec:        t,
+			VictimGbps: make([]float64, len(sc.Victims)),
+			AttackPps:  attackPps,
+			Masks:      sc.Switch.MFC().MaskCount(),
+			Entries:    sc.Switch.MFC().EntryCount(),
+			AttackCost: attackCost,
+			Budget:     budget,
+		}
+		for i, v := range sc.Victims {
+			g := pps[i] * PacketBytes * 8 / 1e9
+			sample.VictimGbps[i] = g
+			sample.TotalVictimGbps += g
+			// Track establishment (Fig. 8b anomaly model).
+			if t >= v.StartSec && v.OfferedGbps > 0 {
+				if g >= 0.5*v.OfferedGbps {
+					v.streak++
+				} else {
+					v.streak = 0
+				}
+				if v.EstablishedAfterSec > 0 && v.streak >= v.EstablishedAfterSec {
+					v.established = true
+				}
+			}
+		}
+		samples = append(samples, sample)
+	}
+	return samples, nil
+}
+
+// replay sends one second's worth of attack packets through the switch,
+// cycling through the trace, and returns their total CPU cost.
+func (sc *Scenario) replay(ph *AttackPhase, cursor *int, now int64, nic NICProfile) float64 {
+	tr := ph.Trace
+	if tr == nil || tr.Len() == 0 {
+		return 0
+	}
+	cost := 0.0
+	for k := 0; k < ph.RatePps; k++ {
+		h := tr.Headers[*cursor%tr.Len()]
+		*cursor++
+		v := sc.Switch.Process(h, now)
+		switch v.Path {
+		case vswitch.PathMicroflow:
+			cost += nic.MicroflowCost
+		case vswitch.PathMegaflow:
+			cost += nic.BaseCost + nic.ProbeCost*float64(v.Probes)
+		case vswitch.PathSlow:
+			cost += nic.BaseCost + nic.ProbeCost*float64(v.Probes) + nic.SlowPathCost
+		}
+	}
+	return cost
+}
+
+// swapACL rebuilds the scenario switch around a new flow table, keeping
+// the megaflow cache contents (OVS keeps the datapath cache across
+// OpenFlow table updates until revalidation; for the Fig. 8c scenario the
+// pre-injection cache holds only benign entries, so this is faithful
+// enough and much simpler).
+func (sc *Scenario) swapACL(tbl *flowtable.Table) error {
+	_, err := sc.Switch.ReplaceTable(tbl)
+	return err
+}
+
+// waterfill allocates CPU budget and line rate across victims: each victim
+// i wants offered[i] pps at costs[i] units per packet. Allocation is
+// proportionally fair under both the CPU budget and the aggregate line
+// rate (iperf TCP flows share the bottleneck roughly equally, Fig. 8a).
+func waterfill(offered, costs []float64, budget, linePps float64) []float64 {
+	pps := make([]float64, len(offered))
+	totalCost := 0.0
+	totalPps := 0.0
+	for i := range offered {
+		pps[i] = offered[i]
+		totalCost += offered[i] * costs[i]
+		totalPps += offered[i]
+	}
+	if totalCost > budget && totalCost > 0 {
+		scale := budget / totalCost
+		totalPps = 0
+		for i := range pps {
+			pps[i] *= scale
+			totalPps += pps[i]
+		}
+	}
+	if totalPps > linePps && totalPps > 0 {
+		scale := linePps / totalPps
+		for i := range pps {
+			pps[i] *= scale
+		}
+	}
+	return pps
+}

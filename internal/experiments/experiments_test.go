@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table/figure of the evaluation must be registered.
+	want := []string{
+		"constructions", "masks", "ipv6", "cms", "alt", "guard", "theorems",
+		"fig9a", "fig8a", "fig8b", "fig8c", "fig9b", "fig9c", "general",
+		"remedies", "bandwidth",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID found a ghost")
+	}
+	if len(IDs()) != len(want) {
+		t.Error("IDs() length mismatch")
+	}
+}
+
+// TestLightExperimentsProduceOutput runs the fast experiments end to end
+// and sanity-checks their output.
+func TestLightExperimentsProduceOutput(t *testing.T) {
+	cases := map[string][]string{
+		"constructions": {"masks=3 entries=4", "masks=13", "masks=1 entries=8"},
+		"cms":           {"OpenStack", "8192", "262144"},
+		"fig9a":         {"masks", "8200", "FCT"},
+		"fig9c":         {"CPU", "250.0"},
+		"theorems":      {"Theorem 4.1", "8192"},
+		"guard":         {"victim lookup probes", "->"},
+		"ipv6":          {"entries", "handful"},
+		"bandwidth":     {"SipSpDp", "kbps"},
+		"remedies":      {"MFC off", "GRO ON"},
+	}
+	for id, needles := range cases {
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q missing", id)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			for _, needle := range needles {
+				if !strings.Contains(out, needle) {
+					t.Errorf("output missing %q:\n%s", needle, out)
+				}
+			}
+		})
+	}
+}
+
+func TestHeavyExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiments skipped with -short")
+	}
+	for _, id := range []string{"masks", "fig8a", "fig8b", "fig9b", "general", "alt"} {
+		t.Run(id, func(t *testing.T) {
+			e, _ := ByID(id)
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Error("no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,108 @@
+// Package microflow implements the exact-match, per-transport-connection
+// flow cache that sits in front of the megaflow cache in the OVS fast path
+// (§2.2). Lookup matches on all header bits, so it is a plain hash table.
+//
+// The cache is deliberately small ("a couple of hundred entries" — §2.2)
+// and serves only as short-term memory: it is often exhausted even in
+// normal operation, which is why both TSE variants pad their traces with
+// random noise in unimportant header fields to keep it thrashed (§5.2,
+// §6.1). Eviction is FIFO, a deterministic stand-in for OVS's
+// hash-position-based replacement that has the same churn behaviour under
+// high-entropy traffic.
+package microflow
+
+import (
+	"sync"
+
+	"tse/internal/bitvec"
+	"tse/internal/flowtable"
+)
+
+// DefaultCapacity mirrors the "couple of hundred entries" of §2.2.
+const DefaultCapacity = 256
+
+// Result caches the decision for one exact header.
+type Result struct {
+	// Action is the cached slow-path decision.
+	Action flowtable.Action
+	// OutPort is the destination for Forward actions.
+	OutPort int
+}
+
+// Cache is a bounded exact-match store. It is safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	table map[string]Result
+	fifo  []string // insertion order ring, oldest first
+	hits  uint64
+	miss  uint64
+}
+
+// New creates a cache with the given capacity; cap <= 0 selects
+// DefaultCapacity.
+func New(cap int) *Cache {
+	if cap <= 0 {
+		cap = DefaultCapacity
+	}
+	return &Cache{cap: cap, table: make(map[string]Result, cap)}
+}
+
+// Lookup returns the cached result for header h.
+func (c *Cache) Lookup(h bitvec.Vec) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.table[h.Key()]
+	if ok {
+		c.hits++
+	} else {
+		c.miss++
+	}
+	return r, ok
+}
+
+// Insert caches the result for header h, evicting the oldest entry if the
+// cache is full. Inserting an existing header refreshes its value without
+// moving it in the eviction order.
+func (c *Cache) Insert(h bitvec.Vec, r Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := h.Key()
+	if _, exists := c.table[k]; exists {
+		c.table[k] = r
+		return
+	}
+	if len(c.table) >= c.cap {
+		oldest := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		delete(c.table, oldest)
+	}
+	c.table[k] = r
+	c.fifo = append(c.fifo, k)
+}
+
+// Len returns the number of cached headers.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.table)
+}
+
+// Flush empties the cache.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.table = make(map[string]Result, c.cap)
+	c.fifo = nil
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (c *Cache) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.hits + c.miss
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

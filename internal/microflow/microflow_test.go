@@ -1,0 +1,87 @@
+package microflow
+
+import (
+	"testing"
+
+	"tse/internal/bitvec"
+	"tse/internal/flowtable"
+)
+
+func hyp(v uint64) bitvec.Vec {
+	h := bitvec.NewVec(bitvec.HYP)
+	h.SetField(bitvec.HYP, 0, v)
+	return h
+}
+
+func TestLookupInsert(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Lookup(hyp(1)); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Insert(hyp(1), Result{Action: flowtable.Allow, OutPort: 3})
+	r, ok := c.Lookup(hyp(1))
+	if !ok || r.Action != flowtable.Allow || r.OutPort != 3 {
+		t.Fatalf("lookup = %+v ok=%v", r, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	c := New(2)
+	c.Insert(hyp(0), Result{})
+	c.Insert(hyp(1), Result{})
+	c.Insert(hyp(2), Result{}) // evicts hyp(0)
+	if _, ok := c.Lookup(hyp(0)); ok {
+		t.Error("oldest entry not evicted")
+	}
+	if _, ok := c.Lookup(hyp(1)); !ok {
+		t.Error("newer entry evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestRefreshDoesNotGrow(t *testing.T) {
+	c := New(2)
+	c.Insert(hyp(0), Result{Action: flowtable.Drop})
+	c.Insert(hyp(0), Result{Action: flowtable.Allow})
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after refresh, want 1", c.Len())
+	}
+	if r, _ := c.Lookup(hyp(0)); r.Action != flowtable.Allow {
+		t.Error("refresh did not update value")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	c := New(0)
+	for v := uint64(0); v < DefaultCapacity+10; v++ {
+		h := bitvec.NewVec(bitvec.IPv4Tuple)
+		h.SetField(bitvec.IPv4Tuple, 0, v)
+		c.Insert(h, Result{})
+	}
+	if c.Len() != DefaultCapacity {
+		t.Errorf("Len = %d, want %d", c.Len(), DefaultCapacity)
+	}
+}
+
+func TestFlushAndHitRate(t *testing.T) {
+	c := New(4)
+	c.Insert(hyp(1), Result{})
+	c.Lookup(hyp(1))
+	c.Lookup(hyp(2))
+	if hr := c.HitRate(); hr != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", hr)
+	}
+	c.Flush()
+	if c.Len() != 0 {
+		t.Error("Flush did not empty cache")
+	}
+	empty := New(4)
+	if empty.HitRate() != 0 {
+		t.Error("HitRate on fresh cache should be 0")
+	}
+}

@@ -1,0 +1,128 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file adds the remaining frame types seen on a hypervisor port:
+// ICMPv4 (connectivity checks between tenant workloads) and ARP (address
+// resolution on the virtual L2 segment). Neither reaches the tenant ACLs
+// in the paper's setups ("Non-IP packets not destined to the service will
+// never reach the hypervisor", §5.2 fn. 2), but a production switch must
+// parse them; the vswitch examples drop them before classification.
+
+// EtherTypeARP is the Ethernet II type for ARP.
+const EtherTypeARP = 0x0806
+
+// ProtoICMP is IPPROTO_ICMP.
+const ProtoICMP = 1
+
+// ICMPv4 is an ICMPv4 header (echo-style: ident/sequence in RestOfHeader).
+type ICMPv4 struct {
+	// Type and Code identify the message (8/0 = echo request).
+	Type, Code byte
+	// RestOfHeader carries type-specific data (identifier, sequence).
+	RestOfHeader uint32
+}
+
+const icmpv4Len = 8
+
+// ARP is an Ethernet/IPv4 ARP packet.
+type ARP struct {
+	// Op is 1 for request, 2 for reply.
+	Op uint16
+	// SenderMAC/SenderIP and TargetMAC/TargetIP are the usual tuples.
+	SenderMAC [6]byte
+	SenderIP  [4]byte
+	TargetMAC [6]byte
+	TargetIP  [4]byte
+}
+
+const arpLen = 28
+
+// SerializeICMPv4 builds an Ethernet+IPv4+ICMPv4 frame.
+func SerializeICMPv4(eth Ethernet, ip IPv4, icmp ICMPv4, payload []byte) ([]byte, error) {
+	seg := make([]byte, icmpv4Len+len(payload))
+	seg[0], seg[1] = icmp.Type, icmp.Code
+	binary.BigEndian.PutUint32(seg[4:], icmp.RestOfHeader)
+	copy(seg[icmpv4Len:], payload)
+	binary.BigEndian.PutUint16(seg[2:], Checksum(seg))
+
+	ip.Protocol = ProtoICMP
+	p := &Packet{Eth: eth, V4: &ip}
+	frame := make([]byte, ethernetLen+ipv4Len+len(seg))
+	b := frame[ethernetLen:]
+	b[0] = 4<<4 | 5
+	b[1] = ip.TOS
+	binary.BigEndian.PutUint16(b[2:], uint16(ipv4Len+len(seg)))
+	binary.BigEndian.PutUint16(b[4:], ip.ID)
+	b[8] = ip.TTL
+	b[9] = ProtoICMP
+	copy(b[12:16], ip.Src[:])
+	copy(b[16:20], ip.Dst[:])
+	binary.BigEndian.PutUint16(b[10:], Checksum(b[:ipv4Len]))
+	copy(b[ipv4Len:], seg)
+	p.Eth.EtherType = EtherTypeIPv4
+	p.serializeEthernet(frame)
+	return frame, nil
+}
+
+// ParseICMPv4 extracts the ICMPv4 layer from a parsed packet's payload
+// (Parse leaves unknown transports in Payload).
+func ParseICMPv4(p *Packet) (*ICMPv4, []byte, error) {
+	if p.V4 == nil || p.V4.Protocol != ProtoICMP {
+		return nil, nil, fmt.Errorf("packet: not ICMPv4")
+	}
+	b := p.Payload
+	if len(b) < icmpv4Len {
+		return nil, nil, fmt.Errorf("packet: truncated ICMPv4 header")
+	}
+	if Checksum(b) != 0 {
+		return nil, nil, fmt.Errorf("packet: bad ICMPv4 checksum")
+	}
+	return &ICMPv4{
+		Type: b[0], Code: b[1],
+		RestOfHeader: binary.BigEndian.Uint32(b[4:]),
+	}, b[icmpv4Len:], nil
+}
+
+// SerializeARP builds an Ethernet+ARP frame.
+func SerializeARP(eth Ethernet, arp ARP) []byte {
+	frame := make([]byte, ethernetLen+arpLen)
+	b := frame[ethernetLen:]
+	binary.BigEndian.PutUint16(b[0:], 1)      // htype: Ethernet
+	binary.BigEndian.PutUint16(b[2:], 0x0800) // ptype: IPv4
+	b[4], b[5] = 6, 4                         // hlen, plen
+	binary.BigEndian.PutUint16(b[6:], arp.Op)
+	copy(b[8:14], arp.SenderMAC[:])
+	copy(b[14:18], arp.SenderIP[:])
+	copy(b[18:24], arp.TargetMAC[:])
+	copy(b[24:28], arp.TargetIP[:])
+	eth.EtherType = EtherTypeARP
+	p := &Packet{Eth: eth}
+	p.Eth.EtherType = EtherTypeARP
+	p.serializeEthernet(frame)
+	return frame
+}
+
+// ParseARP extracts an ARP layer from a parsed packet.
+func ParseARP(p *Packet) (*ARP, error) {
+	if p.Eth.EtherType != EtherTypeARP {
+		return nil, fmt.Errorf("packet: not ARP")
+	}
+	b := p.Payload
+	if len(b) < arpLen {
+		return nil, fmt.Errorf("packet: truncated ARP")
+	}
+	if binary.BigEndian.Uint16(b[0:]) != 1 || binary.BigEndian.Uint16(b[2:]) != 0x0800 ||
+		b[4] != 6 || b[5] != 4 {
+		return nil, fmt.Errorf("packet: unsupported ARP hardware/protocol types")
+	}
+	a := &ARP{Op: binary.BigEndian.Uint16(b[6:])}
+	copy(a.SenderMAC[:], b[8:14])
+	copy(a.SenderIP[:], b[14:18])
+	copy(a.TargetMAC[:], b[18:24])
+	copy(a.TargetIP[:], b[24:28])
+	return a, nil
+}

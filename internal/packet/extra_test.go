@@ -1,0 +1,135 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestICMPv4RoundTrip(t *testing.T) {
+	eth := Ethernet{Src: [6]byte{2, 0, 0, 0, 0, 1}, Dst: [6]byte{2, 0, 0, 0, 0, 2}}
+	ip := IPv4{TTL: 64, Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2}}
+	icmp := ICMPv4{Type: 8, Code: 0, RestOfHeader: 0x00010007} // echo req, id 1 seq 7
+	frame, err := SerializeICMPv4(eth, ip, icmp, []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(frame, ParseOptions{VerifyChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.V4 == nil || p.V4.Protocol != ProtoICMP {
+		t.Fatalf("IPv4 layer %+v", p.V4)
+	}
+	got, payload, err := ParseICMPv4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != 8 || got.RestOfHeader != 0x00010007 {
+		t.Errorf("ICMP layer %+v", got)
+	}
+	if string(payload) != "ping" {
+		t.Errorf("payload %q", payload)
+	}
+	// Corruption detection.
+	frame[len(frame)-1] ^= 0xff
+	p2, _ := Parse(frame, ParseOptions{})
+	if _, _, err := ParseICMPv4(p2); err == nil {
+		t.Error("corrupted ICMP accepted")
+	}
+}
+
+func TestParseICMPv4Errors(t *testing.T) {
+	p := &Packet{}
+	if _, _, err := ParseICMPv4(p); err == nil {
+		t.Error("non-IPv4 accepted")
+	}
+	p.V4 = &IPv4{Protocol: ProtoICMP}
+	p.Payload = []byte{8, 0}
+	if _, _, err := ParseICMPv4(p); err == nil {
+		t.Error("truncated ICMP accepted")
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	arp := ARP{
+		Op:        1,
+		SenderMAC: [6]byte{2, 0, 0, 0, 0, 1},
+		SenderIP:  [4]byte{10, 0, 0, 1},
+		TargetIP:  [4]byte{10, 0, 0, 2},
+	}
+	frame := SerializeARP(Ethernet{}, arp)
+	p, err := Parse(frame, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseARP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != 1 || got.SenderIP != arp.SenderIP || got.TargetIP != arp.TargetIP {
+		t.Errorf("ARP %+v", got)
+	}
+}
+
+func TestParseARPErrors(t *testing.T) {
+	p := &Packet{}
+	if _, err := ParseARP(p); err == nil {
+		t.Error("non-ARP accepted")
+	}
+	frame := SerializeARP(Ethernet{}, ARP{Op: 2})
+	frame[ethernetLen] = 9 // bogus htype
+	p2, _ := Parse(frame, ParseOptions{})
+	if _, err := ParseARP(p2); err == nil {
+		t.Error("bogus htype accepted")
+	}
+	short := SerializeARP(Ethernet{}, ARP{Op: 2})[:ethernetLen+10]
+	p3, _ := Parse(short, ParseOptions{})
+	if _, err := ParseARP(p3); err == nil {
+		t.Error("truncated ARP accepted")
+	}
+}
+
+// Checksum properties (RFC 1071): appending the checksum to the data
+// yields a verifying sum of zero, for arbitrary inputs.
+func TestChecksumVerifiesQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data)%2 == 1 {
+			data = append(data, 0)
+		}
+		ck := Checksum(data)
+		withCk := append(append([]byte(nil), data...), byte(ck>>8), byte(ck))
+		return Checksum(withCk) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Serialize/Parse round-trip property over random UDP packets.
+func TestSerializeParseRoundTripQuick(t *testing.T) {
+	f := func(src, dst [4]byte, sp, dp uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		p := &Packet{
+			V4:      &IPv4{TTL: 64, Src: src, Dst: dst},
+			UDP:     &UDP{SrcPort: sp, DstPort: dp},
+			Payload: payload,
+		}
+		frame, err := p.Serialize()
+		if err != nil {
+			return false
+		}
+		got, err := Parse(frame, ParseOptions{VerifyChecksums: true})
+		if err != nil || got.UDP == nil {
+			return false
+		}
+		if got.UDP.SrcPort != sp || got.UDP.DstPort != dp || got.V4.Src != src {
+			return false
+		}
+		return string(got.Payload) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

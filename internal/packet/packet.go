@@ -1,0 +1,420 @@
+// Package packet implements the wire formats the attack traffic travels
+// in: Ethernet II, IPv4, IPv6, TCP, and UDP, with serialization, parsing,
+// and checksum handling. It is the repository's stdlib replacement for the
+// capture/crafting library the paper's tooling used (gopacket/pcap replay,
+// §5.4): adversarial traces built by package core are turned into real
+// frames here, stored via package pcap, and parsed back into classifier
+// keys on the receive path.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherTypes understood by Parse.
+const (
+	// EtherTypeIPv4 is the Ethernet II type for IPv4.
+	EtherTypeIPv4 = 0x0800
+	// EtherTypeIPv6 is the Ethernet II type for IPv6.
+	EtherTypeIPv6 = 0x86dd
+)
+
+// IP protocol numbers.
+const (
+	// ProtoTCP is IPPROTO_TCP.
+	ProtoTCP = 6
+	// ProtoUDP is IPPROTO_UDP.
+	ProtoUDP = 17
+)
+
+// Ethernet is an Ethernet II header.
+type Ethernet struct {
+	// Dst and Src are the MAC addresses.
+	Dst, Src [6]byte
+	// EtherType selects the payload protocol.
+	EtherType uint16
+}
+
+const ethernetLen = 14
+
+// IPv4 is an IPv4 header without options.
+type IPv4 struct {
+	// TOS is the type-of-service / DSCP byte.
+	TOS byte
+	// ID is the identification field.
+	ID uint16
+	// Flags holds the 3 flag bits in its low bits (DF = 0b010).
+	Flags byte
+	// FragOffset is the 13-bit fragment offset in 8-byte units.
+	FragOffset uint16
+	// TTL is the time-to-live (the "unimportant" field the paper's noise
+	// varies, §5.2).
+	TTL byte
+	// Protocol selects the transport (ProtoTCP, ProtoUDP, ...).
+	Protocol byte
+	// Src and Dst are the addresses.
+	Src, Dst [4]byte
+}
+
+const ipv4Len = 20
+
+// IPv6 is a fixed IPv6 header (no extension headers).
+type IPv6 struct {
+	// TrafficClass and FlowLabel are the QoS fields.
+	TrafficClass byte
+	FlowLabel    uint32
+	// NextHeader selects the transport.
+	NextHeader byte
+	// HopLimit is the TTL analogue.
+	HopLimit byte
+	// Src and Dst are the addresses.
+	Src, Dst [16]byte
+}
+
+const ipv6Len = 40
+
+// TCP is a TCP header without options.
+type TCP struct {
+	// SrcPort and DstPort are the transport ports.
+	SrcPort, DstPort uint16
+	// Seq and Ack are the sequence numbers.
+	Seq, Ack uint32
+	// Flags holds the 8 flag bits (SYN = 0x02, ACK = 0x10, ...).
+	Flags byte
+	// Window is the advertised receive window.
+	Window uint16
+	// Urgent is the urgent pointer.
+	Urgent uint16
+}
+
+const tcpLen = 20
+
+// UDP is a UDP header.
+type UDP struct {
+	// SrcPort and DstPort are the transport ports.
+	SrcPort, DstPort uint16
+}
+
+const udpLen = 8
+
+// Packet is a decoded frame: an Ethernet header, one network layer, at
+// most one transport layer, and the remaining payload.
+type Packet struct {
+	// Eth is always present.
+	Eth Ethernet
+	// V4 or V6 is set according to the EtherType.
+	V4 *IPv4
+	V6 *IPv6
+	// TCP or UDP is set according to the IP protocol, when parseable.
+	TCP *TCP
+	UDP *UDP
+	// Payload is the transport payload (or the unparsed IP payload).
+	Payload []byte
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the TCP/UDP pseudo-header contribution.
+func pseudoHeaderSum(src, dst []byte, proto byte, length int) uint32 {
+	var sum uint32
+	for i := 0; i+1 < len(src); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(src[i:]))
+		sum += uint32(binary.BigEndian.Uint16(dst[i:]))
+	}
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// transportChecksum computes a TCP/UDP checksum including the pseudo
+// header. segment must have its checksum field zeroed.
+func transportChecksum(src, dst []byte, proto byte, segment []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, len(segment))
+	for i := 0; i+1 < len(segment); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment[i:]))
+	}
+	if len(segment)%2 == 1 {
+		sum += uint32(segment[len(segment)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	ck := ^uint16(sum)
+	if ck == 0 && proto == ProtoUDP {
+		ck = 0xffff // RFC 768: transmitted as all ones
+	}
+	return ck
+}
+
+// Serialize encodes the packet into a wire-format frame, filling in all
+// length and checksum fields.
+func (p *Packet) Serialize() ([]byte, error) {
+	transport, proto, err := p.serializeTransport()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.V4 != nil:
+		return p.serializeIPv4(transport, proto)
+	case p.V6 != nil:
+		return p.serializeIPv6(transport, proto)
+	default:
+		return nil, fmt.Errorf("packet: no network layer")
+	}
+}
+
+func (p *Packet) serializeTransport() ([]byte, byte, error) {
+	switch {
+	case p.TCP != nil && p.UDP != nil:
+		return nil, 0, fmt.Errorf("packet: both TCP and UDP set")
+	case p.TCP != nil:
+		seg := make([]byte, tcpLen+len(p.Payload))
+		t := p.TCP
+		binary.BigEndian.PutUint16(seg[0:], t.SrcPort)
+		binary.BigEndian.PutUint16(seg[2:], t.DstPort)
+		binary.BigEndian.PutUint32(seg[4:], t.Seq)
+		binary.BigEndian.PutUint32(seg[8:], t.Ack)
+		seg[12] = 5 << 4 // data offset: 5 words, no options
+		seg[13] = t.Flags
+		binary.BigEndian.PutUint16(seg[14:], t.Window)
+		binary.BigEndian.PutUint16(seg[18:], t.Urgent)
+		copy(seg[tcpLen:], p.Payload)
+		return seg, ProtoTCP, nil
+	case p.UDP != nil:
+		seg := make([]byte, udpLen+len(p.Payload))
+		binary.BigEndian.PutUint16(seg[0:], p.UDP.SrcPort)
+		binary.BigEndian.PutUint16(seg[2:], p.UDP.DstPort)
+		binary.BigEndian.PutUint16(seg[4:], uint16(len(seg)))
+		copy(seg[udpLen:], p.Payload)
+		return seg, ProtoUDP, nil
+	default:
+		return append([]byte(nil), p.Payload...), 0, nil
+	}
+}
+
+func (p *Packet) serializeIPv4(transport []byte, proto byte) ([]byte, error) {
+	v4 := p.V4
+	if proto != 0 {
+		v4.Protocol = proto
+	}
+	frame := make([]byte, ethernetLen+ipv4Len+len(transport))
+	ip := frame[ethernetLen:]
+	ip[0] = 4<<4 | 5 // version 4, IHL 5
+	ip[1] = v4.TOS
+	binary.BigEndian.PutUint16(ip[2:], uint16(ipv4Len+len(transport)))
+	binary.BigEndian.PutUint16(ip[4:], v4.ID)
+	binary.BigEndian.PutUint16(ip[6:], uint16(v4.Flags)<<13|v4.FragOffset&0x1fff)
+	ip[8] = v4.TTL
+	ip[9] = v4.Protocol
+	copy(ip[12:16], v4.Src[:])
+	copy(ip[16:20], v4.Dst[:])
+	binary.BigEndian.PutUint16(ip[10:], Checksum(ip[:ipv4Len]))
+	copy(ip[ipv4Len:], transport)
+	p.fixTransportChecksum(ip[ipv4Len:], v4.Src[:], v4.Dst[:], v4.Protocol)
+	p.Eth.EtherType = EtherTypeIPv4
+	p.serializeEthernet(frame)
+	return frame, nil
+}
+
+func (p *Packet) serializeIPv6(transport []byte, proto byte) ([]byte, error) {
+	v6 := p.V6
+	if proto != 0 {
+		v6.NextHeader = proto
+	}
+	frame := make([]byte, ethernetLen+ipv6Len+len(transport))
+	ip := frame[ethernetLen:]
+	binary.BigEndian.PutUint32(ip[0:], 6<<28|uint32(v6.TrafficClass)<<20|v6.FlowLabel&0xfffff)
+	binary.BigEndian.PutUint16(ip[4:], uint16(len(transport)))
+	ip[6] = v6.NextHeader
+	ip[7] = v6.HopLimit
+	copy(ip[8:24], v6.Src[:])
+	copy(ip[24:40], v6.Dst[:])
+	copy(ip[ipv6Len:], transport)
+	p.fixTransportChecksum(ip[ipv6Len:], v6.Src[:], v6.Dst[:], v6.NextHeader)
+	p.Eth.EtherType = EtherTypeIPv6
+	p.serializeEthernet(frame)
+	return frame, nil
+}
+
+func (p *Packet) fixTransportChecksum(seg, src, dst []byte, proto byte) {
+	switch {
+	case p.TCP != nil && proto == ProtoTCP:
+		binary.BigEndian.PutUint16(seg[16:], 0)
+		binary.BigEndian.PutUint16(seg[16:], transportChecksum(src, dst, proto, seg))
+	case p.UDP != nil && proto == ProtoUDP:
+		binary.BigEndian.PutUint16(seg[6:], 0)
+		binary.BigEndian.PutUint16(seg[6:], transportChecksum(src, dst, proto, seg))
+	}
+}
+
+func (p *Packet) serializeEthernet(frame []byte) {
+	copy(frame[0:6], p.Eth.Dst[:])
+	copy(frame[6:12], p.Eth.Src[:])
+	binary.BigEndian.PutUint16(frame[12:], p.Eth.EtherType)
+}
+
+// ParseOptions controls Parse strictness.
+type ParseOptions struct {
+	// VerifyChecksums makes Parse reject frames with bad IPv4 header or
+	// TCP/UDP checksums.
+	VerifyChecksums bool
+}
+
+// Parse decodes a wire-format frame. Unknown EtherTypes and IP protocols
+// leave the corresponding layer nil with the remaining bytes in Payload.
+func Parse(frame []byte, opts ParseOptions) (*Packet, error) {
+	if len(frame) < ethernetLen {
+		return nil, fmt.Errorf("packet: truncated Ethernet header (%d bytes)", len(frame))
+	}
+	p := &Packet{}
+	copy(p.Eth.Dst[:], frame[0:6])
+	copy(p.Eth.Src[:], frame[6:12])
+	p.Eth.EtherType = binary.BigEndian.Uint16(frame[12:14])
+	rest := frame[ethernetLen:]
+
+	switch p.Eth.EtherType {
+	case EtherTypeIPv4:
+		return p, p.parseIPv4(rest, opts)
+	case EtherTypeIPv6:
+		return p, p.parseIPv6(rest, opts)
+	default:
+		p.Payload = rest
+		return p, nil
+	}
+}
+
+func (p *Packet) parseIPv4(b []byte, opts ParseOptions) error {
+	if len(b) < ipv4Len {
+		return fmt.Errorf("packet: truncated IPv4 header")
+	}
+	if v := b[0] >> 4; v != 4 {
+		return fmt.Errorf("packet: IPv4 version field is %d", v)
+	}
+	ihl := int(b[0]&0xf) * 4
+	if ihl < ipv4Len || len(b) < ihl {
+		return fmt.Errorf("packet: bad IPv4 IHL %d", ihl)
+	}
+	if opts.VerifyChecksums && Checksum(b[:ihl]) != 0 {
+		return fmt.Errorf("packet: bad IPv4 header checksum")
+	}
+	v4 := &IPv4{
+		TOS:        b[1],
+		ID:         binary.BigEndian.Uint16(b[4:]),
+		Flags:      b[6] >> 5,
+		FragOffset: binary.BigEndian.Uint16(b[6:]) & 0x1fff,
+		TTL:        b[8],
+		Protocol:   b[9],
+	}
+	copy(v4.Src[:], b[12:16])
+	copy(v4.Dst[:], b[16:20])
+	p.V4 = v4
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total >= ihl && total <= len(b) {
+		b = b[:total]
+	}
+	return p.parseTransport(b[ihl:], v4.Protocol, v4.Src[:], v4.Dst[:], opts)
+}
+
+func (p *Packet) parseIPv6(b []byte, opts ParseOptions) error {
+	if len(b) < ipv6Len {
+		return fmt.Errorf("packet: truncated IPv6 header")
+	}
+	first := binary.BigEndian.Uint32(b[0:])
+	if v := first >> 28; v != 6 {
+		return fmt.Errorf("packet: IPv6 version field is %d", v)
+	}
+	v6 := &IPv6{
+		TrafficClass: byte(first >> 20),
+		FlowLabel:    first & 0xfffff,
+		NextHeader:   b[6],
+		HopLimit:     b[7],
+	}
+	copy(v6.Src[:], b[8:24])
+	copy(v6.Dst[:], b[24:40])
+	p.V6 = v6
+	plen := int(binary.BigEndian.Uint16(b[4:]))
+	rest := b[ipv6Len:]
+	if plen <= len(rest) {
+		rest = rest[:plen]
+	}
+	return p.parseTransport(rest, v6.NextHeader, v6.Src[:], v6.Dst[:], opts)
+}
+
+func (p *Packet) parseTransport(b []byte, proto byte, src, dst []byte, opts ParseOptions) error {
+	switch proto {
+	case ProtoTCP:
+		if len(b) < tcpLen {
+			return fmt.Errorf("packet: truncated TCP header")
+		}
+		off := int(b[12]>>4) * 4
+		if off < tcpLen || len(b) < off {
+			return fmt.Errorf("packet: bad TCP data offset %d", off)
+		}
+		if opts.VerifyChecksums && transportChecksumValid(src, dst, proto, b) != true {
+			return fmt.Errorf("packet: bad TCP checksum")
+		}
+		p.TCP = &TCP{
+			SrcPort: binary.BigEndian.Uint16(b[0:]),
+			DstPort: binary.BigEndian.Uint16(b[2:]),
+			Seq:     binary.BigEndian.Uint32(b[4:]),
+			Ack:     binary.BigEndian.Uint32(b[8:]),
+			Flags:   b[13],
+			Window:  binary.BigEndian.Uint16(b[14:]),
+			Urgent:  binary.BigEndian.Uint16(b[18:]),
+		}
+		p.Payload = b[off:]
+	case ProtoUDP:
+		if len(b) < udpLen {
+			return fmt.Errorf("packet: truncated UDP header")
+		}
+		if opts.VerifyChecksums && !transportChecksumValid(src, dst, proto, b) {
+			return fmt.Errorf("packet: bad UDP checksum")
+		}
+		p.UDP = &UDP{
+			SrcPort: binary.BigEndian.Uint16(b[0:]),
+			DstPort: binary.BigEndian.Uint16(b[2:]),
+		}
+		p.Payload = b[udpLen:]
+	default:
+		p.Payload = b
+	}
+	return nil
+}
+
+// transportChecksumValid verifies a TCP/UDP checksum in place.
+func transportChecksumValid(src, dst []byte, proto byte, seg []byte) bool {
+	var stored uint16
+	switch proto {
+	case ProtoTCP:
+		stored = binary.BigEndian.Uint16(seg[16:])
+	case ProtoUDP:
+		stored = binary.BigEndian.Uint16(seg[6:])
+		if stored == 0 {
+			return true // checksum not used
+		}
+	}
+	tmp := make([]byte, len(seg))
+	copy(tmp, seg)
+	switch proto {
+	case ProtoTCP:
+		binary.BigEndian.PutUint16(tmp[16:], 0)
+	case ProtoUDP:
+		binary.BigEndian.PutUint16(tmp[6:], 0)
+	}
+	want := transportChecksum(src, dst, proto, tmp)
+	return want == stored
+}

@@ -1,0 +1,499 @@
+// Package tss implements the Tuple Space Search (TSS) packet classifier
+// [Srinivasan, Suri, Varghese, SIGCOMM'99] as used by the megaflow cache
+// (MFC) of Open vSwitch and other hypervisor switches (§2.2 of the paper).
+//
+// The classifier is an unordered set of key-mask pairs C = {(K, M)}. It
+// maintains the list of distinct masks M (the "tuple space") and, for each
+// mask M ∈ M, a hash table H_M storing the keys with that mask. Lookup
+// (Alg. 1 in the paper's appendix) probes each mask in turn: apply M to the
+// packet header, look the result up in H_M, return on the first hit.
+//
+// Because all entries are kept disjoint (independence invariant Inv(2),
+// §3.2), the first hit is the only hit and lookup can early-exit. The cost
+// of that simplification is the paper's central observation:
+//
+//	Observation 1. The time-complexity of TSS lookup grows linearly with
+//	the number of distinct masks as O(|M|) and the space-complexity grows
+//	linearly with the number of entries as O(|C|).
+//
+// The Tuple Space Explosion attack inflates |M|; see package vswitch for
+// how the slow path's megaflow generation lets an adversary do that, and
+// package core for the attack itself.
+package tss
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"tse/internal/bitvec"
+	"tse/internal/flowtable"
+)
+
+// MaskOrder selects the order in which Lookup scans the mask list. The
+// paper's measurements (§5.4: "the flow completion time only increases half
+// as high as the number of MFC masks") correspond to the victim's mask
+// sitting at a uniformly random position in the scan, which OrderHash
+// models deterministically. OrderInsertion and OrderHitCount exist for
+// ablation (OVS's userspace dpcls sorts its subtables by hit count).
+type MaskOrder int
+
+const (
+	// OrderHash scans masks sorted by a hash of their bits: a stable,
+	// adversary-independent order in which any particular mask lands at an
+	// effectively uniform position. Default.
+	OrderHash MaskOrder = iota
+	// OrderInsertion scans masks oldest-first.
+	OrderInsertion
+	// OrderHitCount scans masks most-hit-first, re-sorted lazily. Models
+	// the OVS userspace classifier's pvector priority optimisation.
+	OrderHitCount
+)
+
+// Entry is one megaflow: a disjoint key-mask pair with a cached action.
+type Entry struct {
+	// Key and Mask define the match (Key must equal Key AND Mask).
+	Key, Mask bitvec.Vec
+	// Action is the cached slow-path decision.
+	Action flowtable.Action
+	// OutPort is the destination for Forward actions.
+	OutPort int
+	// RuleName records which flow-table rule generated the entry
+	// (diagnostics and MFCGuard pattern matching).
+	RuleName string
+	// LastUsed is the virtual time of the last hit or the install time.
+	// The simulator advances virtual time in seconds.
+	LastUsed int64
+	// Hits counts lookups served by this entry.
+	Hits uint64
+}
+
+// Format renders the entry figure-style: "01*|1111 -> deny".
+func (e *Entry) Format(l *bitvec.Layout) string {
+	return fmt.Sprintf("%s -> %s", bitvec.FormatMasked(l, e.Key, e.Mask), e.Action)
+}
+
+// group is one tuple: a mask plus the hash of keys sharing it. Entries are
+// bucketed by a cheap word hash of the key so the lookup hot path performs
+// no allocation; bucket collisions are resolved by exact comparison.
+type group struct {
+	mask    bitvec.Vec
+	maskKey string
+	hash    uint64
+	entries map[uint64][]*Entry
+	n       int
+	hits    uint64
+	seq     int
+}
+
+// keyHash mixes the vector words into a bucket key without allocating.
+func keyHash(v bitvec.Vec) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range v {
+		h ^= w
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	return h
+}
+
+// find returns the entry in g whose key equals k, or nil.
+func (g *group) find(k bitvec.Vec) *Entry {
+	for _, e := range g.entries[keyHash(k)] {
+		if e.Key.Equal(k) {
+			return e
+		}
+	}
+	return nil
+}
+
+// put inserts e (whose key must not already be present).
+func (g *group) put(e *Entry) {
+	h := keyHash(e.Key)
+	g.entries[h] = append(g.entries[h], e)
+	g.n++
+}
+
+// remove deletes the entry with key k, reporting success.
+func (g *group) remove(k bitvec.Vec) bool {
+	h := keyHash(k)
+	bucket := g.entries[h]
+	for i, e := range bucket {
+		if e.Key.Equal(k) {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			if len(bucket) == 0 {
+				delete(g.entries, h)
+			} else {
+				g.entries[h] = bucket
+			}
+			g.n--
+			return true
+		}
+	}
+	return false
+}
+
+// each calls f for every entry; f returning false stops the walk.
+func (g *group) each(f func(*Entry) bool) {
+	for _, bucket := range g.entries {
+		for _, e := range bucket {
+			if !f(e) {
+				return
+			}
+		}
+	}
+}
+
+// Stats aggregates classifier activity counters.
+type Stats struct {
+	// Lookups is the total number of Lookup calls.
+	Lookups uint64
+	// Hits and Misses partition Lookups.
+	Hits, Misses uint64
+	// Probes is the total number of mask probes performed; Probes/Lookups
+	// is the average per-packet classification effort the attack inflates.
+	Probes uint64
+	// Inserted and Deleted count entry lifecycle events.
+	Inserted, Deleted uint64
+}
+
+// Options configures a Classifier.
+type Options struct {
+	// Order selects the mask scan order (default OrderHash).
+	Order MaskOrder
+	// DisableOverlapCheck skips the O(|C|) independence verification on
+	// Insert. The vswitch megaflow generator guarantees disjointness by
+	// construction, so its pipeline may disable the check; tests and
+	// direct users keep it on.
+	DisableOverlapCheck bool
+}
+
+// Classifier is a TSS megaflow cache. It is safe for concurrent use.
+type Classifier struct {
+	mu      sync.Mutex
+	layout  *bitvec.Layout
+	groups  []*group // in scan order
+	byMask  map[string]*group
+	nEntry  int
+	nextSeq int
+	opts    Options
+	stats   Stats
+	dirty   bool // OrderHitCount needs re-sort
+	scratch bitvec.Vec
+}
+
+// New creates an empty classifier over the layout.
+func New(l *bitvec.Layout, opts Options) *Classifier {
+	return &Classifier{
+		layout:  l,
+		byMask:  make(map[string]*group),
+		opts:    opts,
+		scratch: bitvec.NewVec(l),
+	}
+}
+
+// Layout returns the classifier's header layout.
+func (c *Classifier) Layout() *bitvec.Layout { return c.layout }
+
+// Lookup classifies header h at virtual time now. It returns the matching
+// entry, the number of mask probes performed (the classification cost the
+// attack drives up), and whether the lookup hit.
+func (c *Classifier) Lookup(h bitvec.Vec, now int64) (*Entry, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resortLocked()
+	c.stats.Lookups++
+	probes := 0
+	// Algorithm 1: for M ∈ M, look up (h AND M) in H_M; first hit wins.
+	for _, g := range c.groups {
+		probes++
+		h.AndInto(g.mask, c.scratch)
+		if e := g.find(c.scratch); e != nil {
+			e.Hits++
+			e.LastUsed = now
+			g.hits++
+			if c.opts.Order == OrderHitCount {
+				c.dirty = true
+			}
+			c.stats.Hits++
+			c.stats.Probes += uint64(probes)
+			return e, probes, true
+		}
+	}
+	c.stats.Misses++
+	c.stats.Probes += uint64(probes)
+	return nil, probes, false
+}
+
+// ErrOverlap is returned by Insert when the new entry would violate the
+// independence invariant Inv(2).
+type ErrOverlap struct {
+	// Existing is the conflicting entry already in the cache.
+	Existing *Entry
+}
+
+func (e *ErrOverlap) Error() string {
+	return "tss: entry overlaps existing megaflow (Inv(2) violation)"
+}
+
+// Insert adds a megaflow at virtual time now. If an entry with the same
+// key and mask exists, it is refreshed in place (idempotent install). If
+// the new entry overlaps a different existing entry, Insert returns
+// *ErrOverlap and the cache is unchanged (unless the check is disabled).
+func (c *Classifier) Insert(e *Entry, now int64) error {
+	if len(e.Key) != c.layout.Words() || len(e.Mask) != c.layout.Words() {
+		return fmt.Errorf("tss: entry vector length mismatch")
+	}
+	if !e.Key.SubsetOf(e.Mask) {
+		return fmt.Errorf("tss: entry key has bits outside its mask")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	mk := e.Mask.Key()
+	g := c.byMask[mk]
+	if g != nil {
+		if old := g.find(e.Key); old != nil {
+			// Same key and mask: refresh.
+			old.Action, old.OutPort, old.RuleName = e.Action, e.OutPort, e.RuleName
+			old.LastUsed = now
+			return nil
+		}
+	}
+	if !c.opts.DisableOverlapCheck {
+		if ex := c.findOverlapLocked(e); ex != nil {
+			return &ErrOverlap{Existing: ex}
+		}
+	}
+	if g == nil {
+		g = &group{
+			mask:    e.Mask.Clone(),
+			maskKey: mk,
+			hash:    e.Mask.Hash(),
+			entries: make(map[uint64][]*Entry),
+			seq:     c.nextSeq,
+		}
+		c.nextSeq++
+		c.byMask[mk] = g
+		c.groups = append(c.groups, g)
+		c.placeLocked()
+	}
+	e.LastUsed = now
+	g.put(e)
+	c.nEntry++
+	c.stats.Inserted++
+	return nil
+}
+
+// findOverlapLocked returns any existing entry overlapping e, or nil.
+func (c *Classifier) findOverlapLocked(e *Entry) *Entry {
+	for _, g := range c.groups {
+		// Fast path: if the group's mask is a subset of e's mask, an
+		// overlap within this group must agree with e on the group mask,
+		// so a single hash probe decides.
+		if g.mask.SubsetOf(e.Mask) {
+			e.Key.AndInto(g.mask, c.scratch)
+			if ex := g.find(c.scratch); ex != nil {
+				return ex
+			}
+			continue
+		}
+		var found *Entry
+		g.each(func(ex *Entry) bool {
+			if bitvec.Overlap(e.Key, e.Mask, ex.Key, ex.Mask) {
+				found = ex
+				return false
+			}
+			return true
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// placeLocked restores the configured scan order after a group was
+// appended at the end of c.groups.
+func (c *Classifier) placeLocked() {
+	switch c.opts.Order {
+	case OrderHash:
+		// Binary-insert the appended group into hash order.
+		g := c.groups[len(c.groups)-1]
+		pos := sort.Search(len(c.groups)-1, func(i int) bool {
+			if c.groups[i].hash != g.hash {
+				return c.groups[i].hash > g.hash
+			}
+			return c.groups[i].maskKey > g.maskKey
+		})
+		copy(c.groups[pos+1:], c.groups[pos:len(c.groups)-1])
+		c.groups[pos] = g
+	case OrderInsertion:
+		// Appending preserves insertion order.
+	case OrderHitCount:
+		c.dirty = true
+	}
+}
+
+// resortLocked re-sorts hit-count order lazily.
+func (c *Classifier) resortLocked() {
+	if c.opts.Order != OrderHitCount || !c.dirty {
+		return
+	}
+	sort.SliceStable(c.groups, func(i, j int) bool { return c.groups[i].hits > c.groups[j].hits })
+	c.dirty = false
+}
+
+// Delete removes the entry with exactly the given key and mask. It reports
+// whether an entry was removed.
+func (c *Classifier) Delete(key, mask bitvec.Vec) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.byMask[mask.Key()]
+	if !ok {
+		return false
+	}
+	if !g.remove(key) {
+		return false
+	}
+	c.nEntry--
+	c.stats.Deleted++
+	if g.n == 0 {
+		c.dropGroupLocked(g)
+	}
+	return true
+}
+
+// DeleteWhere removes every entry for which pred returns true and returns
+// the number removed. MFCGuard's drop-entry wipe (§8) is built on this.
+func (c *Classifier) DeleteWhere(pred func(*Entry) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for _, g := range append([]*group(nil), c.groups...) {
+		var victims []bitvec.Vec
+		g.each(func(e *Entry) bool {
+			if pred(e) {
+				victims = append(victims, e.Key)
+			}
+			return true
+		})
+		for _, k := range victims {
+			if g.remove(k) {
+				c.nEntry--
+				removed++
+			}
+		}
+		if g.n == 0 {
+			c.dropGroupLocked(g)
+		}
+	}
+	c.stats.Deleted += uint64(removed)
+	return removed
+}
+
+// ExpireIdle evicts entries not used since now-timeout (OVS's 10-second
+// megaflow idle timeout drives the recovery delay visible in Fig. 8a) and
+// returns the number evicted.
+func (c *Classifier) ExpireIdle(now, timeout int64) int {
+	return c.DeleteWhere(func(e *Entry) bool { return now-e.LastUsed >= timeout })
+}
+
+// dropGroupLocked removes an empty group from the scan list.
+func (c *Classifier) dropGroupLocked(g *group) {
+	delete(c.byMask, g.maskKey)
+	for i, gg := range c.groups {
+		if gg == g {
+			c.groups = append(c.groups[:i], c.groups[i+1:]...)
+			break
+		}
+	}
+}
+
+// MaskCount returns |M|, the number of distinct masks — the quantity the
+// TSE attack maximises.
+func (c *Classifier) MaskCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.groups)
+}
+
+// EntryCount returns |C|, the number of installed megaflows.
+func (c *Classifier) EntryCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nEntry
+}
+
+// Stats returns a snapshot of the activity counters.
+func (c *Classifier) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Entries returns a snapshot of all entries, mask-group by mask-group in
+// the current scan order. This is the equivalent of `ovs-dpctl dump-flows`
+// that MFCGuard's monitor consumes.
+func (c *Classifier) Entries() []*Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Entry, 0, c.nEntry)
+	for _, g := range c.groups {
+		start := len(out)
+		g.each(func(e *Entry) bool { out = append(out, e); return true })
+		within := out[start:]
+		sort.Slice(within, func(i, j int) bool { return within[i].Key.Key() < within[j].Key.Key() })
+	}
+	return out
+}
+
+// Masks returns a snapshot of the distinct masks in scan order.
+func (c *Classifier) Masks() []bitvec.Vec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]bitvec.Vec, len(c.groups))
+	for i, g := range c.groups {
+		out[i] = g.mask.Clone()
+	}
+	return out
+}
+
+// Dump writes a human-readable cache listing in scan order, one mask group
+// per stanza — the `ovs-dpctl dump-flows` equivalent for interactive
+// debugging and the CLI tools.
+func (c *Classifier) Dump(w io.Writer, l *bitvec.Layout) {
+	c.mu.Lock()
+	groups := append([]*group(nil), c.groups...)
+	c.mu.Unlock()
+	for i, g := range groups {
+		fmt.Fprintf(w, "mask %d/%d: %s (%d entries, %d hits)\n",
+			i+1, len(groups), g.mask.Format(l), g.n, g.hits)
+		var es []*Entry
+		g.each(func(e *Entry) bool { es = append(es, e); return true })
+		sort.Slice(es, func(a, b int) bool { return es[a].Key.Key() < es[b].Key.Key() })
+		for _, e := range es {
+			fmt.Fprintf(w, "  %s hits=%d last=%d rule=%s\n",
+				bitvec.FormatMasked(l, e.Key, e.Mask), e.Hits, e.LastUsed, e.RuleName)
+		}
+	}
+}
+
+// ProbePosition returns the 1-based scan position of the given mask, or 0
+// if the mask is not present. A lookup hitting an entry under this mask
+// costs exactly this many probes; the dataplane simulator uses it to price
+// the victim's traffic.
+func (c *Classifier) ProbePosition(mask bitvec.Vec) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resortLocked()
+	mk := mask.Key()
+	for i, g := range c.groups {
+		if g.maskKey == mk {
+			return i + 1
+		}
+	}
+	return 0
+}

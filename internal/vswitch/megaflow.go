@@ -1,0 +1,167 @@
+package vswitch
+
+import (
+	"fmt"
+
+	"tse/internal/bitvec"
+	"tse/internal/flowtable"
+	"tse/internal/tss"
+)
+
+// Strategy selects how the megaflow generator unwildcards one header field
+// when proving a rule mismatch. The choice realises the space–time
+// trade-off of Theorems 4.1/4.2: StrategyWildcard is the k≈w extreme
+// (minimal space, maximal masks — what OVS usually does and what the TSE
+// attack exploits), StrategyExact the k≈1 extreme (one mask, exponential
+// entries — what OVS does for IPv6 addresses per §5.4).
+type Strategy int
+
+const (
+	// StrategyWildcard unwildcards the MSB-first prefix of the field up
+	// to and including the first bit where the packet disagrees with the
+	// rule, mirroring OVS's trie-guided "wildcarding" heuristic (Fig. 3).
+	StrategyWildcard Strategy = iota
+	// StrategyExact unwildcards the whole field.
+	StrategyExact
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyWildcard:
+		return "wildcard"
+	case StrategyExact:
+		return "exact"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Generator derives megaflow entries from slow-path classifications,
+// maintaining the paper's two invariants (§3.2):
+//
+//	Inv(1) Cover: the generated entry matches the packet that sparked it.
+//	Inv(2) Independence: entries generated for packets with different
+//	       classification outcomes are pairwise disjoint.
+//
+// Inv(2) holds because the generated mask records the complete "decision
+// transcript" of the slow-path walk: for every rule considered before the
+// final match, the mask contains enough bits to prove the mismatch, so any
+// header matching the entry takes the same walk and reaches the same rule.
+type Generator struct {
+	table    *flowtable.Table
+	layout   *bitvec.Layout
+	strategy []Strategy // per field index
+}
+
+// NewGenerator builds a generator for the table. strategies maps field
+// names to a Strategy; missing fields default to StrategyWildcard.
+func NewGenerator(table *flowtable.Table, strategies map[string]Strategy) (*Generator, error) {
+	l := table.Layout()
+	g := &Generator{table: table, layout: l, strategy: make([]Strategy, l.NumFields())}
+	for name, st := range strategies {
+		i, ok := l.FieldIndex(name)
+		if !ok {
+			return nil, fmt.Errorf("vswitch: strategy for unknown field %q", name)
+		}
+		g.strategy[i] = st
+	}
+	return g, nil
+}
+
+// Generate derives the megaflow entry for header h. The caller must have
+// established that h reaches the slow path (i.e. the table classifies it).
+// If no rule matches, Generate returns an exact-match drop entry, which is
+// always safe.
+func (g *Generator) Generate(h bitvec.Vec) *tss.Entry {
+	l := g.layout
+	mask := bitvec.NewVec(l)
+	var matched *flowtable.Rule
+
+	for _, r := range g.table.Rules() {
+		if r.Matches(h) {
+			// Unwildcard the matched rule's own bits: the fast path must
+			// re-verify this match. (Fields under StrategyExact widen to
+			// the whole field, preserving Inv(2) trivially.)
+			for f := 0; f < l.NumFields(); f++ {
+				if !fieldConstrained(l, r.Mask, f) {
+					continue
+				}
+				if g.strategy[f] == StrategyExact {
+					orFieldMask(l, mask, f)
+					continue
+				}
+				orConstrained(l, mask, r.Mask, f)
+			}
+			matched = r
+			break
+		}
+		// Prove the mismatch: for every field the rule constrains and on
+		// which h disagrees, unwildcard per strategy. OVS's staged lookup
+		// consults each constrained field, which is what yields the
+		// multiplicative (Cartesian-product) mask growth of Theorem 4.2.
+		for f := 0; f < l.NumFields(); f++ {
+			if !fieldConstrained(l, r.Mask, f) {
+				continue
+			}
+			if g.strategy[f] == StrategyExact {
+				orFieldMask(l, mask, f)
+				continue
+			}
+			// MSB-first scan over the rule's constrained bits: unwildcard
+			// through the first differing bit (Fig. 3's construction).
+			w := l.Field(f).Width
+			for i := 0; i < w; i++ {
+				if !r.Mask.FieldBit(l, f, i) {
+					continue
+				}
+				mask.SetFieldBit(l, f, i)
+				if h.FieldBit(l, f, i) != r.Key.FieldBit(l, f, i) {
+					break
+				}
+			}
+		}
+	}
+
+	e := &tss.Entry{Key: h.And(mask), Mask: mask, Action: flowtable.Drop, RuleName: "<no-match>"}
+	if matched != nil {
+		e.Action = matched.Action
+		e.OutPort = matched.OutPort
+		e.RuleName = matched.Name
+	} else {
+		// No rule matched: cache an exact drop so the miss is not
+		// re-classified per packet, without risking over-wide coverage.
+		e.Mask = bitvec.FullMask(l)
+		e.Key = h.Clone()
+	}
+	return e
+}
+
+// fieldConstrained reports whether mask has any bit set within field f.
+func fieldConstrained(l *bitvec.Layout, mask bitvec.Vec, f int) bool {
+	w := l.Field(f).Width
+	for i := 0; i < w; i++ {
+		if mask.FieldBit(l, f, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// orConstrained sets in dst every bit of field f that src has set.
+func orConstrained(l *bitvec.Layout, dst, src bitvec.Vec, f int) {
+	w := l.Field(f).Width
+	for i := 0; i < w; i++ {
+		if src.FieldBit(l, f, i) {
+			dst.SetFieldBit(l, f, i)
+		}
+	}
+}
+
+// orFieldMask sets all bits of field f in dst.
+func orFieldMask(l *bitvec.Layout, dst bitvec.Vec, f int) {
+	w := l.Field(f).Width
+	for i := 0; i < w; i++ {
+		dst.SetFieldBit(l, f, i)
+	}
+}

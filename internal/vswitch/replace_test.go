@@ -1,0 +1,102 @@
+package vswitch
+
+import (
+	"testing"
+
+	"tse/internal/bitvec"
+	"tse/internal/flowtable"
+	"tse/internal/tss"
+)
+
+// TestReplaceTableRevalidation verifies the revalidator model: after an
+// ACL swap, entries the new table would generate identically survive in
+// place; stale entries are deleted.
+func TestReplaceTableRevalidation(t *testing.T) {
+	l := bitvec.IPv4Tuple
+	benign := flowtable.UseCaseACL(flowtable.Baseline, flowtable.ACLParams{})
+	s := newSwitch(t, Config{Table: benign, DisableMicroflow: true})
+
+	// Victim megaflow: matches rule #1 (dp=80) — identical under both
+	// ACLs, so it must survive.
+	victim := bitvec.NewVec(l)
+	dp, _ := l.FieldIndex("tp_dst")
+	victim.SetField(l, dp, 80)
+	s.Process(victim, 0)
+
+	// A deny megaflow under the benign ACL: dp-prefix only. Under the
+	// SipDp ACL the proof needs ip_src bits too -> stale, must go.
+	deny := bitvec.NewVec(l)
+	deny.SetField(l, dp, 9999)
+	s.Process(deny, 0)
+	if s.MFC().EntryCount() != 2 {
+		t.Fatalf("setup: %d entries", s.MFC().EntryCount())
+	}
+
+	removed, err := s.ReplaceTable(flowtable.UseCaseACL(flowtable.SipDp, flowtable.ACLParams{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Errorf("revalidation removed %d entries, want 1 (the stale deny)", removed)
+	}
+	if e, _, ok := s.MFC().Lookup(victim, 1); !ok || e.Action != flowtable.Allow {
+		t.Error("victim entry did not survive revalidation")
+	}
+	if _, _, ok := s.MFC().Lookup(deny, 1); ok {
+		t.Error("stale deny entry survived revalidation")
+	}
+	// Classification under the new table is sound for the denied header.
+	if v := s.Process(deny, 2); v.Path != PathSlow || v.Action != flowtable.Drop {
+		t.Errorf("post-swap verdict %+v", v)
+	}
+}
+
+func TestReplaceTableValidation(t *testing.T) {
+	s := newSwitch(t, Config{Table: flowtable.Fig1()})
+	if _, err := s.ReplaceTable(nil); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := s.ReplaceTable(flowtable.Fig6()); err == nil {
+		t.Error("different-layout table accepted")
+	}
+	if _, err := s.ReplaceTable(flowtable.Fig1()); err != nil {
+		t.Errorf("same-layout swap failed: %v", err)
+	}
+}
+
+// TestReplaceTablePreservesScanPosition: under insertion order, a
+// surviving entry keeps its (early) scan position across the swap — the
+// property the Fig. 8c scenario relies on.
+func TestReplaceTablePreservesScanPosition(t *testing.T) {
+	l := bitvec.IPv4Tuple
+	benign := flowtable.UseCaseACL(flowtable.Baseline, flowtable.ACLParams{})
+	s, err := New(Config{Table: benign, DisableMicroflow: true,
+		Order: tss.OrderInsertion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := bitvec.NewVec(l)
+	dp, _ := l.FieldIndex("tp_dst")
+	victim.SetField(l, dp, 80)
+	s.Process(victim, 0)
+
+	malicious := flowtable.UseCaseACL(flowtable.SipSpDp, flowtable.ACLParams{})
+	if _, err := s.ReplaceTable(malicious); err != nil {
+		t.Fatal(err)
+	}
+	// Spawn some adversarial masks.
+	sip, _ := l.FieldIndex("ip_src")
+	for b := 0; b < 32; b++ {
+		h := victim.Clone()
+		h.SetField(l, dp, 81)
+		h.FlipFieldBit(l, sip, b)
+		s.Process(h, 1)
+	}
+	_, probes, ok := s.MFC().Lookup(victim, 2)
+	if !ok {
+		t.Fatal("victim entry missing")
+	}
+	if probes != 1 {
+		t.Errorf("victim probes = %d, want 1 (insertion order, installed first)", probes)
+	}
+}
