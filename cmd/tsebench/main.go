@@ -5,6 +5,7 @@
 //	tsebench -list           # show available experiment IDs
 //	tsebench -fig fig9a      # regenerate one table/figure
 //	tsebench -fig all        # regenerate everything (takes ~1 min)
+//	tsebench -workers 6      # PMD datapath scaling table for 1 vs 6 cores
 //
 // Each experiment prints the same rows/series the paper reports plus the
 // paper's published anchor values for comparison; EXPERIMENTS.md records
@@ -22,11 +23,28 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	fig := flag.String("fig", "all", "experiment ID to run, or 'all'")
+	workers := flag.Int("workers", 0,
+		"run the multicore datapath scaling table comparing 1 worker against N")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "tsebench: -workers must be >= 1")
+		os.Exit(2)
+	}
+	if *workers > 0 {
+		counts := []int{1}
+		if *workers > 1 {
+			counts = append(counts, *workers)
+		}
+		if err := experiments.RunMulticore(os.Stdout, counts); err != nil {
+			fmt.Fprintln(os.Stderr, "tsebench:", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -1,0 +1,3 @@
+module tse
+
+go 1.24

@@ -1,0 +1,329 @@
+// Package datapath implements a PMD-style multi-worker datapath over the
+// simulated switch, mirroring the architecture of OVS's userspace datapath
+// (dpif-netdev) that the paper's testbeds run on (§2.2):
+//
+//   - N poll-mode-driver (PMD) workers, one per simulated core, each
+//     owning a private exact-match cache (EMC) — vswitch's microflow layer
+//     exists once per PMD thread in OVS, not once per switch.
+//   - RSS-style dispatch: the NIC hashes each packet's flow key and steers
+//     it to a fixed worker, so one flow's packets always hit the same EMC.
+//   - Batch processing: each worker drains its share of a dispatch in
+//     bursts of BatchSize packets (OVS's NETDEV_MAX_BURST of 32), EMC
+//     prepass first, then the shared megaflow classifier via the batched
+//     switch path.
+//
+// The megaflow cache and slow path stay shared across workers (as in OVS,
+// where dpcls subtables are per-port but the TSE attack's mask explosion
+// hits every PMD scanning them). That sharing is what makes the attack
+// multi-core relevant: |M| is global state, so an attacker inflating it
+// from one receive queue taxes every core's lookups, while the per-core
+// CPU budgets bound how much slow-path work each core can absorb.
+package datapath
+
+import (
+	"fmt"
+	"sync"
+
+	"tse/internal/bitvec"
+	"tse/internal/flowtable"
+	"tse/internal/microflow"
+	"tse/internal/vswitch"
+)
+
+// DefaultBatchSize is the per-worker burst size, OVS's NETDEV_MAX_BURST.
+const DefaultBatchSize = 32
+
+// Config assembles a worker pool.
+type Config struct {
+	// Switch is the shared device: megaflow cache plus slow path. Build it
+	// with DisableMicroflow — the exact-match layer belongs to the workers
+	// here, one private cache per PMD (§2.2). A switch-level microflow
+	// cache is not an error, just redundant work in front of the pool.
+	Switch *vswitch.Switch
+	// Workers is the number of PMD workers; <= 0 selects 1.
+	Workers int
+	// BatchSize is the per-worker burst size; <= 0 selects
+	// DefaultBatchSize.
+	BatchSize int
+	// EMCCapacity sizes each worker's private exact-match cache; <= 0
+	// selects the microflow default ("a couple of hundred entries").
+	EMCCapacity int
+	// DisableEMC removes the per-worker exact-match layer. The dataplane
+	// simulator uses this: its per-second victim probes would otherwise
+	// always hit the EMC and never observe the megaflow scan cost.
+	DisableEMC bool
+}
+
+// WorkerStats aggregates one worker's activity.
+type WorkerStats struct {
+	// Packets is the number of packets dispatched to the worker.
+	Packets uint64
+	// EMCHits, MegaflowHits, SlowPath partition Packets by deciding layer.
+	EMCHits, MegaflowHits, SlowPath uint64
+	// Dropped and Allowed partition Packets by verdict.
+	Dropped, Allowed uint64
+	// Probes is the total number of megaflow mask probes the worker spent
+	// — the per-core share of the linear scan cost the attack inflates.
+	Probes uint64
+}
+
+// Pool is a set of PMD workers sharing one switch. A pool is driven by a
+// single dispatcher: methods must not be called concurrently with each
+// other (the parallelism lives inside ProcessBatch, where the workers of
+// one dispatch run concurrently against the shared switch).
+type Pool struct {
+	sw      *vswitch.Switch
+	batch   int
+	workers []*worker
+	assign  []int // per-header worker index of the latest dispatch
+}
+
+// worker is one PMD: a private EMC plus reusable burst buffers. Only its
+// own goroutine (or the serial driver) touches it during a dispatch.
+type worker struct {
+	emc   *microflow.Cache
+	stats WorkerStats
+
+	// Per-dispatch shard and per-burst scratch buffers, reused across
+	// calls to keep the hot path allocation-free.
+	shardHs  []bitvec.Vec
+	shardIdx []int
+	emcRes   []microflow.Result
+	emcOK    []bool
+	missHs   []bitvec.Vec
+	missIdx  []int
+	verdicts []vswitch.Verdict
+}
+
+// New builds a pool over the shared switch.
+func New(cfg Config) (*Pool, error) {
+	if cfg.Switch == nil {
+		return nil, fmt.Errorf("datapath: config needs a switch")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	p := &Pool{sw: cfg.Switch, batch: cfg.BatchSize}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{}
+		if !cfg.DisableEMC {
+			w.emc = microflow.New(cfg.EMCCapacity)
+		}
+		p.workers = append(p.workers, w)
+	}
+	return p, nil
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Switch returns the shared switch.
+func (p *Pool) Switch() *vswitch.Switch { return p.sw }
+
+// WorkerFor returns the worker index RSS dispatch steers header h to. The
+// mapping is a pure function of the header bits, so a flow's packets
+// always land on the same worker (and the same private EMC).
+func (p *Pool) WorkerFor(h bitvec.Vec) int {
+	return int(h.Hash() % uint64(len(p.workers)))
+}
+
+// ProcessBatch dispatches a batch of headers across the workers by RSS
+// hash and runs the workers concurrently against the shared switch,
+// returning one verdict per header in input order (writing into out when
+// it has sufficient capacity; pass nil to allocate).
+//
+// Verdicts are deterministic per worker stream, but when concurrent
+// slow-path installs interleave, the Probes field of megaflow hits can
+// vary run to run (a mask installed by another core shifts scan
+// positions). Use ProcessBatchSerial where bit-exact reproducibility
+// matters, e.g. the paper-figure simulations.
+func (p *Pool) ProcessBatch(hs []bitvec.Vec, now int64, out []vswitch.Verdict) []vswitch.Verdict {
+	out = p.shard(hs, out)
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		if len(w.shardHs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.run(p.sw, p.batch, now, out)
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// ProcessBatchSerial is ProcessBatch with the workers executed one after
+// the other in index order: the deterministic drive mode. The simulator
+// models per-core parallelism through per-core CPU budgets, so it does not
+// need (and cannot afford, reproducibility-wise) real concurrency.
+func (p *Pool) ProcessBatchSerial(hs []bitvec.Vec, now int64, out []vswitch.Verdict) []vswitch.Verdict {
+	out = p.shard(hs, out)
+	for _, w := range p.workers {
+		if len(w.shardHs) == 0 {
+			continue
+		}
+		w.run(p.sw, p.batch, now, out)
+	}
+	return out
+}
+
+// shard steers each header to its RSS worker, filling the per-worker
+// shard buffers, and returns out resized to len(hs).
+func (p *Pool) shard(hs []bitvec.Vec, out []vswitch.Verdict) []vswitch.Verdict {
+	if cap(out) < len(hs) {
+		out = make([]vswitch.Verdict, len(hs))
+	}
+	out = out[:len(hs)]
+	for _, w := range p.workers {
+		w.shardHs = w.shardHs[:0]
+		w.shardIdx = w.shardIdx[:0]
+	}
+	if cap(p.assign) < len(hs) {
+		p.assign = make([]int, len(hs))
+	}
+	p.assign = p.assign[:len(hs)]
+	for i, h := range hs {
+		wi := p.WorkerFor(h)
+		p.assign[i] = wi
+		w := p.workers[wi]
+		w.shardHs = append(w.shardHs, h)
+		w.shardIdx = append(w.shardIdx, i)
+	}
+	return out
+}
+
+// Assignments returns the worker index each header of the most recent
+// ProcessBatch/ProcessBatchSerial call was steered to, in input order.
+// The slice is reused by the next dispatch (a Pool is single-dispatcher);
+// copy it to keep it.
+func (p *Pool) Assignments() []int { return p.assign }
+
+// run drains the worker's shard in bursts.
+func (w *worker) run(sw *vswitch.Switch, batch int, now int64, out []vswitch.Verdict) {
+	for start := 0; start < len(w.shardHs); start += batch {
+		end := start + batch
+		if end > len(w.shardHs) {
+			end = len(w.shardHs)
+		}
+		w.burst(sw, w.shardHs[start:end], w.shardIdx[start:end], now, out)
+	}
+}
+
+// burst processes one receive burst: EMC prepass, then the shared switch's
+// batched path for the misses, then EMC priming — the emc_processing /
+// fast_path_processing split of OVS's dpif-netdev.
+func (w *worker) burst(sw *vswitch.Switch, hs []bitvec.Vec, idx []int, now int64, out []vswitch.Verdict) {
+	w.stats.Packets += uint64(len(hs))
+	missHs, missIdx := hs, idx
+	if w.emc != nil {
+		w.emcRes = growRes(w.emcRes, len(hs))
+		w.emcOK = growOK(w.emcOK, len(hs))
+		w.emc.LookupBatch(hs, w.emcRes, w.emcOK)
+		w.missHs, w.missIdx = w.missHs[:0], w.missIdx[:0]
+		for i := range hs {
+			if w.emcOK[i] {
+				v := vswitch.Verdict{Action: w.emcRes[i].Action,
+					OutPort: w.emcRes[i].OutPort, Path: vswitch.PathMicroflow}
+				out[idx[i]] = v
+				w.stats.EMCHits++
+				w.tally(v)
+				continue
+			}
+			w.missHs = append(w.missHs, hs[i])
+			w.missIdx = append(w.missIdx, idx[i])
+		}
+		missHs, missIdx = w.missHs, w.missIdx
+	}
+	if len(missHs) == 0 {
+		return
+	}
+	w.verdicts = growVerdicts(w.verdicts, len(missHs))
+	sw.ProcessBatch(missHs, now, w.verdicts)
+	for i, v := range w.verdicts[:len(missHs)] {
+		out[missIdx[i]] = v
+		switch v.Path {
+		case vswitch.PathMegaflow:
+			w.stats.MegaflowHits++
+		case vswitch.PathSlow:
+			w.stats.SlowPath++
+		}
+		w.stats.Probes += uint64(v.Probes)
+		w.tally(v)
+		if w.emc != nil {
+			w.emc.Insert(missHs[i].Clone(),
+				microflow.Result{Action: v.Action, OutPort: v.OutPort})
+		}
+	}
+}
+
+func (w *worker) tally(v vswitch.Verdict) {
+	if v.Action == flowtable.Drop {
+		w.stats.Dropped++
+	} else {
+		w.stats.Allowed++
+	}
+}
+
+// Stats returns a snapshot of each worker's counters, indexed by worker.
+func (p *Pool) Stats() []WorkerStats {
+	out := make([]WorkerStats, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = w.stats
+	}
+	return out
+}
+
+// Totals sums the per-worker stats.
+func (p *Pool) Totals() WorkerStats {
+	var t WorkerStats
+	for _, w := range p.workers {
+		t.Packets += w.stats.Packets
+		t.EMCHits += w.stats.EMCHits
+		t.MegaflowHits += w.stats.MegaflowHits
+		t.SlowPath += w.stats.SlowPath
+		t.Dropped += w.stats.Dropped
+		t.Allowed += w.stats.Allowed
+		t.Probes += w.stats.Probes
+	}
+	return t
+}
+
+// FlushEMC empties every worker's exact-match cache. Callers swapping the
+// slow-path flow table (vswitch.ReplaceTable) must flush, since the EMCs
+// memoise decisions of the old table.
+func (p *Pool) FlushEMC() {
+	for _, w := range p.workers {
+		if w.emc != nil {
+			w.emc.Flush()
+		}
+	}
+}
+
+// EMC returns worker i's private exact-match cache (nil when disabled).
+func (p *Pool) EMC(i int) *microflow.Cache { return p.workers[i].emc }
+
+func growRes(s []microflow.Result, n int) []microflow.Result {
+	if cap(s) < n {
+		return make([]microflow.Result, n)
+	}
+	return s[:n]
+}
+
+func growOK(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growVerdicts(s []vswitch.Verdict, n int) []vswitch.Verdict {
+	if cap(s) < n {
+		return make([]vswitch.Verdict, n)
+	}
+	return s[:n]
+}

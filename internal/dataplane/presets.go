@@ -158,3 +158,47 @@ func lineLimited(p NICProfile, gbps float64) NICProfile {
 	p.LineRateGbps = gbps
 	return p
 }
+
+// MulticoreScenario builds the synthetic SipDp attack over a PMD-style
+// multi-worker datapath: four TCP victims sharing a 10 Gbps link, a
+// high-rate co-located attack during [30, 90), and one CPU budget per
+// worker (adding cores adds capacity, as adding PMD threads does in OVS).
+//
+// The scenario exists to show what scaling out does — and does not — buy
+// against TSE. The attack's slow-path CPU load shards across the cores by
+// RSS, so extra cores absorb the brute-force component; the mask count is
+// global state of the shared megaflow cache, so the linear scan tax on
+// every victim lookup is identical at any core count. Compare workers 1,
+// 4, and 8 (examples/multicore and the `multicore` experiment do) to see
+// throughput recover only up to the probe-cost plateau.
+func MulticoreScenario(workers int) (*Scenario, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("dataplane: multicore scenario needs >= 1 worker, got %d", workers)
+	}
+	tbl := flowtable.UseCaseACL(flowtable.SipDp, flowtable.ACLParams{})
+	sw, err := vswitch.New(vswitch.Config{Table: tbl, DisableMicroflow: true})
+	if err != nil {
+		return nil, err
+	}
+	trace, err := core.CoLocated(tbl, core.CoLocatedOptions{Noise: true, Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	victims := make([]*Victim, 4)
+	for i := range victims {
+		victims[i] = &Victim{
+			Name:        fmt.Sprintf("Victim %d", i+1),
+			Header:      victimHeader(0x0a000040+uint32(i), uint16(43000+17*i), 80),
+			OfferedGbps: 9.7 / 4,
+		}
+	}
+	return &Scenario{
+		Name:        fmt.Sprintf("Multicore-SipDp-%dw", workers),
+		Switch:      sw,
+		NIC:         TCPGroOff,
+		Victims:     victims,
+		Phases:      []AttackPhase{{Trace: trace, RatePps: 2000, StartSec: 30, StopSec: 90}},
+		DurationSec: 120,
+		Workers:     workers,
+	}, nil
+}

@@ -2,9 +2,11 @@ package dataplane
 
 import (
 	"fmt"
+	"math"
 
 	"tse/internal/bitvec"
 	"tse/internal/core"
+	"tse/internal/datapath"
 	"tse/internal/flowtable"
 	"tse/internal/vswitch"
 )
@@ -73,6 +75,14 @@ type Scenario struct {
 	Phases []AttackPhase
 	// DurationSec is the experiment length.
 	DurationSec int
+	// Workers selects the number of PMD-style datapath workers sharing the
+	// switch; <= 1 runs the classic single-core pipeline. With N > 1
+	// workers, packets are sharded RSS-style (see internal/datapath), the
+	// scenario budget becomes a *per-core* budget — adding cores adds
+	// capacity, as adding PMD threads does in OVS — and each Sample
+	// carries per-worker series. The megaflow cache stays shared, so the
+	// attack's mask count taxes every core's lookups.
+	Workers int
 }
 
 // Sample is one per-second observation.
@@ -91,8 +101,14 @@ type Sample struct {
 	// Fig. 8c).
 	Masks, Entries int
 	// AttackCost is the CPU share consumed by attack traffic, and Budget
-	// the total, letting callers derive slow-path load.
+	// the total, letting callers derive slow-path load. For multi-core
+	// runs Budget is the aggregate across workers.
 	AttackCost, Budget float64
+	// WorkerAttackCost is the attack CPU cost absorbed by each worker and
+	// WorkerVictimGbps the victim throughput served by each worker; both
+	// are nil for single-core runs.
+	WorkerAttackCost []float64
+	WorkerVictimGbps []float64
 }
 
 // Run executes the scenario and returns one sample per second.
@@ -107,6 +123,9 @@ func (sc *Scenario) Run() ([]Sample, error) {
 	budget := model.Budget()
 	if sc.BudgetOverride > 0 {
 		budget = sc.BudgetOverride
+	}
+	if sc.Workers > 1 {
+		return sc.runMulticore(budget)
 	}
 	cursor := make([]int, len(sc.Phases)) // per-phase trace replay position
 
@@ -144,16 +163,7 @@ func (sc *Scenario) Run() ([]Sample, error) {
 				continue
 			}
 			verdict := sc.Switch.Process(v.Header, now)
-			probes := float64(verdict.Probes)
-			cost := (sc.NIC.BaseCost + sc.NIC.ProbeCost*probes) / sc.NIC.Coalesce
-			if verdict.Path == vswitch.PathSlow {
-				cost += sc.NIC.SlowPathCost / sc.NIC.Coalesce
-			}
-			if v.established && v.EstablishedProtection > 0 {
-				cost = v.EstablishedProtection*sc.NIC.MicroflowCost +
-					(1-v.EstablishedProtection)*cost
-			}
-			costs[i] = cost
+			costs[i] = sc.victimCost(v, verdict)
 			offered[i] = v.OfferedGbps * 1e9 / 8 / PacketBytes // pps
 		}
 
@@ -172,21 +182,173 @@ func (sc *Scenario) Run() ([]Sample, error) {
 			g := pps[i] * PacketBytes * 8 / 1e9
 			sample.VictimGbps[i] = g
 			sample.TotalVictimGbps += g
-			// Track establishment (Fig. 8b anomaly model).
-			if t >= v.StartSec && v.OfferedGbps > 0 {
-				if g >= 0.5*v.OfferedGbps {
-					v.streak++
-				} else {
-					v.streak = 0
-				}
-				if v.EstablishedAfterSec > 0 && v.streak >= v.EstablishedAfterSec {
-					v.established = true
-				}
-			}
+			v.trackEstablishment(t, g)
 		}
 		samples = append(samples, sample)
 	}
 	return samples, nil
+}
+
+// runMulticore executes the scenario over a PMD-style worker pool: attack
+// and victim packets shard to workers by RSS hash, each worker has its own
+// per-core CPU budget, and the samples carry per-worker series. The pool's
+// per-worker EMCs are disabled: the simulator prices each victim flow from
+// one probe packet per second, which with an EMC in front would always be
+// an exact-match hit and never observe the megaflow scan cost the attack
+// inflates (the same reason the Fig. 8 scenarios disable the switch-level
+// microflow cache).
+func (sc *Scenario) runMulticore(perCore float64) ([]Sample, error) {
+	pool, err := datapath.New(datapath.Config{
+		Switch: sc.Switch, Workers: sc.Workers, DisableEMC: true})
+	if err != nil {
+		return nil, err
+	}
+	nw := pool.Workers()
+	cursor := make([]int, len(sc.Phases))
+	samples := make([]Sample, 0, sc.DurationSec)
+	var batch []bitvec.Vec
+	var verdicts []vswitch.Verdict
+	for t := 0; t < sc.DurationSec; t++ {
+		now := int64(t)
+		sc.Switch.Tick(now)
+
+		// Attack activity, sharded across the workers.
+		workerAttack := make([]float64, nw)
+		attackPps := 0
+		for i := range sc.Phases {
+			ph := &sc.Phases[i]
+			if t < ph.StartSec || t >= ph.StopSec {
+				continue
+			}
+			if t == ph.StartSec && ph.InjectACL != nil {
+				if err := sc.swapACL(ph.InjectACL); err != nil {
+					return nil, err
+				}
+				pool.FlushEMC()
+			}
+			attackPps += ph.RatePps
+			tr := ph.Trace
+			if tr == nil || tr.Len() == 0 {
+				continue
+			}
+			batch = batch[:0]
+			for k := 0; k < ph.RatePps; k++ {
+				batch = append(batch, tr.Headers[cursor[i]%tr.Len()])
+				cursor[i]++
+			}
+			verdicts = pool.ProcessBatchSerial(batch, now, verdicts)
+			assign := pool.Assignments()
+			for k, v := range verdicts[:len(batch)] {
+				workerAttack[assign[k]] += verdictCost(v, sc.NIC)
+			}
+		}
+
+		// Victims: per-flow classification cost and RSS worker assignment.
+		costs := make([]float64, len(sc.Victims))
+		offered := make([]float64, len(sc.Victims))
+		workerOf := make([]int, len(sc.Victims))
+		for i, v := range sc.Victims {
+			workerOf[i] = pool.WorkerFor(v.Header)
+			if t < v.StartSec {
+				continue
+			}
+			verdict := sc.Switch.Process(v.Header, now)
+			costs[i] = sc.victimCost(v, verdict)
+			offered[i] = v.OfferedGbps * 1e9 / 8 / PacketBytes // pps
+		}
+
+		// Per-core budget waterfill over each worker's victims, then one
+		// global pass for the shared line rate.
+		pps := make([]float64, len(sc.Victims))
+		for w := 0; w < nw; w++ {
+			var idxs []int
+			for i := range sc.Victims {
+				if workerOf[i] == w && offered[i] > 0 {
+					idxs = append(idxs, i)
+				}
+			}
+			if len(idxs) == 0 {
+				continue
+			}
+			subOff := make([]float64, len(idxs))
+			subCost := make([]float64, len(idxs))
+			for j, i := range idxs {
+				subOff[j], subCost[j] = offered[i], costs[i]
+			}
+			remaining := perCore - workerAttack[w]
+			if remaining < 0 {
+				remaining = 0
+			}
+			alloc := waterfill(subOff, subCost, remaining, math.Inf(1))
+			for j, i := range idxs {
+				pps[i] = alloc[j]
+			}
+		}
+		total := 0.0
+		for _, x := range pps {
+			total += x
+		}
+		if line := sc.NIC.LinePps(); total > line && total > 0 {
+			scale := line / total
+			for i := range pps {
+				pps[i] *= scale
+			}
+		}
+
+		sample := Sample{
+			Sec:              t,
+			VictimGbps:       make([]float64, len(sc.Victims)),
+			AttackPps:        attackPps,
+			Masks:            sc.Switch.MFC().MaskCount(),
+			Entries:          sc.Switch.MFC().EntryCount(),
+			Budget:           perCore * float64(nw),
+			WorkerAttackCost: workerAttack,
+			WorkerVictimGbps: make([]float64, nw),
+		}
+		for _, c := range workerAttack {
+			sample.AttackCost += c
+		}
+		for i, v := range sc.Victims {
+			g := pps[i] * PacketBytes * 8 / 1e9
+			sample.VictimGbps[i] = g
+			sample.TotalVictimGbps += g
+			sample.WorkerVictimGbps[workerOf[i]] += g
+			v.trackEstablishment(t, g)
+		}
+		samples = append(samples, sample)
+	}
+	return samples, nil
+}
+
+// victimCost prices one victim packet from its probe verdict, including
+// the Fig. 8b established-flow protection blend.
+func (sc *Scenario) victimCost(v *Victim, verdict vswitch.Verdict) float64 {
+	probes := float64(verdict.Probes)
+	cost := (sc.NIC.BaseCost + sc.NIC.ProbeCost*probes) / sc.NIC.Coalesce
+	if verdict.Path == vswitch.PathSlow {
+		cost += sc.NIC.SlowPathCost / sc.NIC.Coalesce
+	}
+	if v.established && v.EstablishedProtection > 0 {
+		cost = v.EstablishedProtection*sc.NIC.MicroflowCost +
+			(1-v.EstablishedProtection)*cost
+	}
+	return cost
+}
+
+// trackEstablishment updates the flow's Fig. 8b establishment state from
+// one second's achieved throughput.
+func (v *Victim) trackEstablishment(t int, gbps float64) {
+	if t < v.StartSec || v.OfferedGbps <= 0 {
+		return
+	}
+	if gbps >= 0.5*v.OfferedGbps {
+		v.streak++
+	} else {
+		v.streak = 0
+	}
+	if v.EstablishedAfterSec > 0 && v.streak >= v.EstablishedAfterSec {
+		v.established = true
+	}
 }
 
 // replay sends one second's worth of attack packets through the switch,
@@ -200,17 +362,22 @@ func (sc *Scenario) replay(ph *AttackPhase, cursor *int, now int64, nic NICProfi
 	for k := 0; k < ph.RatePps; k++ {
 		h := tr.Headers[*cursor%tr.Len()]
 		*cursor++
-		v := sc.Switch.Process(h, now)
-		switch v.Path {
-		case vswitch.PathMicroflow:
-			cost += nic.MicroflowCost
-		case vswitch.PathMegaflow:
-			cost += nic.BaseCost + nic.ProbeCost*float64(v.Probes)
-		case vswitch.PathSlow:
-			cost += nic.BaseCost + nic.ProbeCost*float64(v.Probes) + nic.SlowPathCost
-		}
+		cost += verdictCost(sc.Switch.Process(h, now), nic)
 	}
 	return cost
+}
+
+// verdictCost prices one attack packet by the cache layer that decided it.
+func verdictCost(v vswitch.Verdict, nic NICProfile) float64 {
+	switch v.Path {
+	case vswitch.PathMicroflow:
+		return nic.MicroflowCost
+	case vswitch.PathMegaflow:
+		return nic.BaseCost + nic.ProbeCost*float64(v.Probes)
+	case vswitch.PathSlow:
+		return nic.BaseCost + nic.ProbeCost*float64(v.Probes) + nic.SlowPathCost
+	}
+	return 0
 }
 
 // swapACL rebuilds the scenario switch around a new flow table, keeping

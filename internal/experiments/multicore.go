@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tse/internal/dataplane"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "multicore",
+		Title: "PMD-style datapath scaling — SipDp attack vs 1/4/8 cores",
+		Run:   func(w io.Writer) error { return RunMulticore(w, []int{1, 4, 8}) },
+	})
+}
+
+// RunMulticore runs the multicore scenario at each worker count and
+// tabulates victim throughput before, during, and after the attack window.
+// The table makes the scaling story quantitative: per-core budgets absorb
+// the attack's sharded slow-path CPU load, but the shared megaflow cache's
+// mask count — and with it the per-packet linear scan tax — is identical
+// at every core count, so recovery plateaus well below baseline.
+func RunMulticore(w io.Writer, counts []int) error {
+	fmt.Fprintf(w, "%-8s %10s %12s %12s %10s %12s\n",
+		"workers", "pre-attack", "under-attack", "post-attack", "peak masks", "attack cost")
+	for _, n := range counts {
+		sc, err := dataplane.MulticoreScenario(n)
+		if err != nil {
+			return err
+		}
+		samples, err := sc.Run()
+		if err != nil {
+			return err
+		}
+		peakMasks, peakCost := 0, 0.0
+		for _, s := range samples {
+			if s.Masks > peakMasks {
+				peakMasks = s.Masks
+			}
+			if s.AttackCost > peakCost {
+				peakCost = s.AttackCost
+			}
+		}
+		budget := samples[0].Budget
+		fmt.Fprintf(w, "%-8d %9.2fG %11.2fG %11.2fG %10d %11.1f%%\n",
+			n,
+			avgVictimGbps(samples, 10, 30),
+			avgVictimGbps(samples, 60, 90),
+			avgVictimGbps(samples, 105, 120),
+			peakMasks,
+			100*peakCost/budget)
+	}
+	fmt.Fprintln(w, "\nPer-core budgets shard the attack's slow-path load (attack cost % of")
+	fmt.Fprintln(w, "aggregate budget falls with cores), but peak masks are identical: the")
+	fmt.Fprintln(w, "megaflow cache is shared, so the per-lookup scan tax survives scale-out.")
+	return nil
+}
+
+// avgVictimGbps averages TotalVictimGbps over sample seconds [from, to).
+func avgVictimGbps(samples []dataplane.Sample, from, to int) float64 {
+	sum, n := 0.0, 0
+	for _, s := range samples {
+		if s.Sec >= from && s.Sec < to {
+			sum += s.TotalVictimGbps
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

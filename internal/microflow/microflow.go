@@ -61,6 +61,25 @@ func (c *Cache) Lookup(h bitvec.Vec) (Result, bool) {
 	return r, ok
 }
 
+// LookupBatch looks up a batch of headers under a single lock acquisition
+// — the per-packet locking a PMD-style worker amortises across its receive
+// burst. res and ok must be at least as long as hs; res[i], ok[i] receive
+// what Lookup(hs[i]) would return. Hit/miss accounting matches len(hs)
+// individual Lookup calls.
+func (c *Cache) LookupBatch(hs []bitvec.Vec, res []Result, ok []bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, h := range hs {
+		r, hit := c.table[h.Key()]
+		if hit {
+			c.hits++
+		} else {
+			c.miss++
+		}
+		res[i], ok[i] = r, hit
+	}
+}
+
 // Insert caches the result for header h, evicting the oldest entry if the
 // cache is full. Inserting an existing header refreshes its value without
 // moving it in the eviction order.

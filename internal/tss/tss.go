@@ -26,6 +26,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tse/internal/bitvec"
 	"tse/internal/flowtable"
@@ -67,6 +68,9 @@ type Entry struct {
 	LastUsed int64
 	// Hits counts lookups served by this entry.
 	Hits uint64
+	// LastUsed and Hits are updated atomically by concurrent lookups; the
+	// other fields are never mutated once the entry is inserted (refresh
+	// installs swap the whole entry), so lookups may read them lock-free.
 }
 
 // Format renders the entry figure-style: "01*|1111 -> deny".
@@ -113,6 +117,17 @@ func (g *group) put(e *Entry) {
 	h := keyHash(e.Key)
 	g.entries[h] = append(g.entries[h], e)
 	g.n++
+}
+
+// replace swaps old for e in its bucket (same key, so same hash).
+func (g *group) replace(old, e *Entry) {
+	bucket := g.entries[keyHash(old.Key)]
+	for i, x := range bucket {
+		if x == old {
+			bucket[i] = e
+			return
+		}
+	}
 }
 
 // remove deletes the entry with key k, reporting success.
@@ -170,9 +185,14 @@ type Options struct {
 	DisableOverlapCheck bool
 }
 
-// Classifier is a TSS megaflow cache. It is safe for concurrent use.
+// Classifier is a TSS megaflow cache. It is safe for concurrent use:
+// lookups run under a shared reader lock (PMD-style datapath workers
+// classify in parallel), while inserts and deletes take the writer lock.
+// Hit accounting on the read path (entry hits, last-used stamps, scan
+// statistics) uses atomic updates so concurrent readers never block each
+// other.
 type Classifier struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	layout  *bitvec.Layout
 	groups  []*group // in scan order
 	byMask  map[string]*group
@@ -180,18 +200,24 @@ type Classifier struct {
 	nextSeq int
 	opts    Options
 	stats   Stats
-	dirty   bool // OrderHitCount needs re-sort
-	scratch bitvec.Vec
+	dirty   atomic.Bool // OrderHitCount needs re-sort
+	scratch bitvec.Vec  // writer-side scratch; reader paths use the pool
+	pool    sync.Pool   // *bitvec.Vec scratch for concurrent lookups
 }
 
 // New creates an empty classifier over the layout.
 func New(l *bitvec.Layout, opts Options) *Classifier {
-	return &Classifier{
+	c := &Classifier{
 		layout:  l,
 		byMask:  make(map[string]*group),
 		opts:    opts,
 		scratch: bitvec.NewVec(l),
 	}
+	c.pool.New = func() any {
+		v := bitvec.NewVec(l)
+		return &v
+	}
+	return c
 }
 
 // Layout returns the classifier's header layout.
@@ -201,30 +227,93 @@ func (c *Classifier) Layout() *bitvec.Layout { return c.layout }
 // entry, the number of mask probes performed (the classification cost the
 // attack drives up), and whether the lookup hit.
 func (c *Classifier) Lookup(h bitvec.Vec, now int64) (*Entry, int, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.resortLocked()
-	c.stats.Lookups++
+	c.maybeResort()
+	scratch := c.pool.Get().(*bitvec.Vec)
+	c.mu.RLock()
+	e, probes, ok := c.lookupRLocked(h, now, *scratch)
+	c.mu.RUnlock()
+	c.pool.Put(scratch)
+	return e, probes, ok
+}
+
+// lookupRLocked runs Algorithm 1 under a held reader lock: for M ∈ M, look
+// up (h AND M) in H_M; first hit wins. Hit accounting is atomic so any
+// number of readers may run concurrently.
+func (c *Classifier) lookupRLocked(h bitvec.Vec, now int64, scratch bitvec.Vec) (*Entry, int, bool) {
+	atomic.AddUint64(&c.stats.Lookups, 1)
 	probes := 0
-	// Algorithm 1: for M ∈ M, look up (h AND M) in H_M; first hit wins.
 	for _, g := range c.groups {
 		probes++
-		h.AndInto(g.mask, c.scratch)
-		if e := g.find(c.scratch); e != nil {
-			e.Hits++
-			e.LastUsed = now
-			g.hits++
+		h.AndInto(g.mask, scratch)
+		if e := g.find(scratch); e != nil {
+			atomic.AddUint64(&e.Hits, 1)
+			atomic.StoreInt64(&e.LastUsed, now)
+			atomic.AddUint64(&g.hits, 1)
 			if c.opts.Order == OrderHitCount {
-				c.dirty = true
+				c.dirty.Store(true)
 			}
-			c.stats.Hits++
-			c.stats.Probes += uint64(probes)
+			atomic.AddUint64(&c.stats.Hits, 1)
+			atomic.AddUint64(&c.stats.Probes, uint64(probes))
 			return e, probes, true
 		}
 	}
-	c.stats.Misses++
-	c.stats.Probes += uint64(probes)
+	atomic.AddUint64(&c.stats.Misses, 1)
+	atomic.AddUint64(&c.stats.Probes, uint64(probes))
 	return nil, probes, false
+}
+
+// BatchResult is one per-header outcome of LookupBatch.
+type BatchResult struct {
+	// Entry is the matching megaflow (nil on a miss).
+	Entry *Entry
+	// Probes is the number of mask probes spent on this header.
+	Probes int
+	// OK reports whether the lookup hit.
+	OK bool
+}
+
+// LookupBatch classifies consecutive headers from hs under a single reader
+// lock acquisition, filling out (which must be at least as long as hs) and
+// returning the number of headers consumed. It stops after the first miss
+// — in the OVS datapath a miss triggers an upcall whose megaflow install
+// changes cache membership, so results computed past a miss could diverge
+// from serial processing. Consuming until the first miss makes the batch
+// exactly equivalent, header for header, to the same sequence of Lookup
+// calls: the caller resolves the miss (out[n-1].OK == false) and re-enters
+// with the remainder of the batch.
+//
+// Under OrderHitCount the scan order re-sorts at batch boundaries rather
+// than between every pair of packets (as OVS's pvector does); OrderHash and
+// OrderInsertion are unaffected.
+func (c *Classifier) LookupBatch(hs []bitvec.Vec, now int64, out []BatchResult) int {
+	if len(hs) == 0 {
+		return 0
+	}
+	c.maybeResort()
+	scratch := c.pool.Get().(*bitvec.Vec)
+	c.mu.RLock()
+	n := 0
+	for _, h := range hs {
+		e, probes, ok := c.lookupRLocked(h, now, *scratch)
+		out[n] = BatchResult{Entry: e, Probes: probes, OK: ok}
+		n++
+		if !ok {
+			break
+		}
+	}
+	c.mu.RUnlock()
+	c.pool.Put(scratch)
+	return n
+}
+
+// maybeResort restores hit-count order before a read-path scan. It briefly
+// takes the writer lock; OrderHash and OrderInsertion never enter it.
+func (c *Classifier) maybeResort() {
+	if c.opts.Order == OrderHitCount && c.dirty.Load() {
+		c.mu.Lock()
+		c.resortLocked()
+		c.mu.Unlock()
+	}
 }
 
 // ErrOverlap is returned by Insert when the new entry would violate the
@@ -256,9 +345,14 @@ func (c *Classifier) Insert(e *Entry, now int64) error {
 	g := c.byMask[mk]
 	if g != nil {
 		if old := g.find(e.Key); old != nil {
-			// Same key and mask: refresh.
-			old.Action, old.OutPort, old.RuleName = e.Action, e.OutPort, e.RuleName
-			old.LastUsed = now
+			// Same key and mask: refresh by swapping in the new entry.
+			// Decision fields of a published entry are never mutated in
+			// place — concurrent lookups may still hold the old pointer
+			// lock-free — so the entry itself is replaced under the
+			// writer lock, carrying the hit count forward.
+			e.LastUsed = now
+			e.Hits = atomic.LoadUint64(&old.Hits)
+			g.replace(old, e)
 			return nil
 		}
 	}
@@ -333,17 +427,19 @@ func (c *Classifier) placeLocked() {
 	case OrderInsertion:
 		// Appending preserves insertion order.
 	case OrderHitCount:
-		c.dirty = true
+		c.dirty.Store(true)
 	}
 }
 
 // resortLocked re-sorts hit-count order lazily.
 func (c *Classifier) resortLocked() {
-	if c.opts.Order != OrderHitCount || !c.dirty {
+	if c.opts.Order != OrderHitCount || !c.dirty.Load() {
 		return
 	}
-	sort.SliceStable(c.groups, func(i, j int) bool { return c.groups[i].hits > c.groups[j].hits })
-	c.dirty = false
+	sort.SliceStable(c.groups, func(i, j int) bool {
+		return atomic.LoadUint64(&c.groups[i].hits) > atomic.LoadUint64(&c.groups[j].hits)
+	})
+	c.dirty.Store(false)
 }
 
 // Delete removes the entry with exactly the given key and mask. It reports
@@ -415,45 +511,66 @@ func (c *Classifier) dropGroupLocked(g *group) {
 // MaskCount returns |M|, the number of distinct masks — the quantity the
 // TSE attack maximises.
 func (c *Classifier) MaskCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return len(c.groups)
 }
 
 // EntryCount returns |C|, the number of installed megaflows.
 func (c *Classifier) EntryCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.nEntry
 }
 
 // Stats returns a snapshot of the activity counters.
 func (c *Classifier) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Stats{
+		Lookups:  atomic.LoadUint64(&c.stats.Lookups),
+		Hits:     atomic.LoadUint64(&c.stats.Hits),
+		Misses:   atomic.LoadUint64(&c.stats.Misses),
+		Probes:   atomic.LoadUint64(&c.stats.Probes),
+		Inserted: atomic.LoadUint64(&c.stats.Inserted),
+		Deleted:  atomic.LoadUint64(&c.stats.Deleted),
+	}
 }
 
 // Entries returns a snapshot of all entries, mask-group by mask-group in
 // the current scan order. This is the equivalent of `ovs-dpctl dump-flows`
-// that MFCGuard's monitor consumes.
+// that MFCGuard's monitor consumes. The returned entries are copies:
+// mutating them does not affect the cache, and the snapshot stays coherent
+// while concurrent lookups update hit counters.
 func (c *Classifier) Entries() []*Entry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]*Entry, 0, c.nEntry)
 	for _, g := range c.groups {
 		start := len(out)
-		g.each(func(e *Entry) bool { out = append(out, e); return true })
+		g.each(func(e *Entry) bool { out = append(out, snapshotEntry(e)); return true })
 		within := out[start:]
 		sort.Slice(within, func(i, j int) bool { return within[i].Key.Key() < within[j].Key.Key() })
 	}
 	return out
 }
 
+// snapshotEntry copies an entry with atomic reads of its hot counters.
+// Key and Mask are cloned so callers can scribble on the snapshot without
+// corrupting the live cache.
+func snapshotEntry(e *Entry) *Entry {
+	return &Entry{
+		Key: e.Key.Clone(), Mask: e.Mask.Clone(),
+		Action: e.Action, OutPort: e.OutPort, RuleName: e.RuleName,
+		LastUsed: atomic.LoadInt64(&e.LastUsed),
+		Hits:     atomic.LoadUint64(&e.Hits),
+	}
+}
+
 // Masks returns a snapshot of the distinct masks in scan order.
 func (c *Classifier) Masks() []bitvec.Vec {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]bitvec.Vec, len(c.groups))
 	for i, g := range c.groups {
 		out[i] = g.mask.Clone()
@@ -465,14 +582,13 @@ func (c *Classifier) Masks() []bitvec.Vec {
 // per stanza — the `ovs-dpctl dump-flows` equivalent for interactive
 // debugging and the CLI tools.
 func (c *Classifier) Dump(w io.Writer, l *bitvec.Layout) {
-	c.mu.Lock()
-	groups := append([]*group(nil), c.groups...)
-	c.mu.Unlock()
-	for i, g := range groups {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i, g := range c.groups {
 		fmt.Fprintf(w, "mask %d/%d: %s (%d entries, %d hits)\n",
-			i+1, len(groups), g.mask.Format(l), g.n, g.hits)
+			i+1, len(c.groups), g.mask.Format(l), g.n, atomic.LoadUint64(&g.hits))
 		var es []*Entry
-		g.each(func(e *Entry) bool { es = append(es, e); return true })
+		g.each(func(e *Entry) bool { es = append(es, snapshotEntry(e)); return true })
 		sort.Slice(es, func(a, b int) bool { return es[a].Key.Key() < es[b].Key.Key() })
 		for _, e := range es {
 			fmt.Fprintf(w, "  %s hits=%d last=%d rule=%s\n",
@@ -486,9 +602,9 @@ func (c *Classifier) Dump(w io.Writer, l *bitvec.Layout) {
 // costs exactly this many probes; the dataplane simulator uses it to price
 // the victim's traffic.
 func (c *Classifier) ProbePosition(mask bitvec.Vec) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.resortLocked()
+	c.maybeResort()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	mk := mask.Key()
 	for i, g := range c.groups {
 		if g.maskKey == mk {
