@@ -6,6 +6,7 @@
 //	tsebench -fig fig9a      # regenerate one table/figure
 //	tsebench -fig all        # regenerate everything (takes ~1 min)
 //	tsebench -workers 6      # PMD datapath scaling table for 1 vs 6 cores
+//	tsebench -json BENCH.json  # write the hot-path perf suite as JSON
 //
 // Each experiment prints the same rows/series the paper reports plus the
 // paper's published anchor values for comparison; EXPERIMENTS.md records
@@ -25,7 +26,17 @@ func main() {
 	fig := flag.String("fig", "all", "experiment ID to run, or 'all'")
 	workers := flag.Int("workers", 0,
 		"run the multicore datapath scaling table comparing 1 worker against N")
+	jsonPath := flag.String("json", "",
+		"measure the hot-path benchmark suite and write machine-readable results to this path")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := experiments.WriteBenchJSON(os.Stdout, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "tsebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -213,8 +213,10 @@ func (v Vec) SubsetOf(o Vec) bool {
 	return true
 }
 
-// Hash returns a 64-bit FNV-1a hash of the vector's bits. Used to spread
-// masks across buckets; equality must still be confirmed with Equal.
+// Hash returns a 64-bit hash of the vector's bits, mixed a word at a time
+// (one multiply-xorshift round per 64-bit word rather than FNV's eight
+// byte rounds). Used to spread masks across buckets and for RSS worker
+// steering; equality must still be confirmed with Equal.
 func (v Vec) Hash() uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -222,12 +224,140 @@ func (v Vec) Hash() uint64 {
 	)
 	h := uint64(offset64)
 	for _, w := range v {
-		for j := 0; j < 8; j++ {
-			h ^= w >> (8 * j) & 0xff
-			h *= prime64
+		h = (h ^ w) * prime64
+		h ^= h >> 29
+		h *= 0xff51afd7ed558ccd
+	}
+	h ^= h >> 32
+	return h
+}
+
+// mixWord is the per-word mixer behind KeyHash/HashMasked: one
+// multiply-xorshift round over the word value tagged with its position, so
+// equal words at different indices hash differently while zero words
+// contribute nothing (they are skipped by the callers). It is deliberately
+// a single round — the mix only spreads bucket indices, and hash-collision
+// false positives are impossible because every probe confirms with an
+// exact word compare.
+func mixWord(w uint64, i int) uint64 {
+	x := (w ^ (uint64(i)+1)*0x9e3779b97f4a7c15) * 0xff51afd7ed558ccd
+	return x ^ x>>32
+}
+
+// KeyHash returns the bucket hash of v: the XOR of position-tagged mixes of
+// its nonzero words. Because zero words contribute nothing, the same hash
+// can be computed through a sparse mask without materialising the masked
+// vector — HashMasked(h, m, m.NonzeroWords()) == KeyHash(h.And(m)) — which
+// is what makes the classifier's zero-allocation probe possible.
+func KeyHash(v Vec) uint64 {
+	var h uint64
+	for i, w := range v {
+		if w != 0 {
+			h ^= mixWord(w, i)
 		}
 	}
 	return h
+}
+
+// NonzeroWords returns the indices of v's nonzero words, in order. For a
+// sparse wildcard mask this is the per-probe work list: HashMasked and
+// EqualMasked touch only these words.
+func (v Vec) NonzeroWords() []int {
+	var out []int
+	for i, w := range v {
+		if w != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// HashMasked returns KeyHash(h AND mask) without materialising the masked
+// vector, touching only the given word indices. words must be
+// mask.NonzeroWords() (or a superset covering every nonzero mask word):
+// words the mask zeroes contribute nothing to KeyHash, so skipping them is
+// exact, not approximate.
+func HashMasked(h, mask Vec, words []int) uint64 {
+	var x uint64
+	for _, i := range words {
+		if w := h[i] & mask[i]; w != 0 {
+			x ^= mixWord(w, i)
+		}
+	}
+	return x
+}
+
+// EqualMasked reports whether key == (h AND mask), touching only the given
+// word indices. words must cover every nonzero word of mask, and key must
+// be canonical for the mask (key ⊆ mask, as the classifier enforces on
+// insert) so that key is zero wherever the mask is.
+func EqualMasked(key, h, mask Vec, words []int) bool {
+	for _, i := range words {
+		if key[i] != h[i]&mask[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SparseMaskInline is the number of nonzero mask words a SparseMask stores
+// inline. Every standard layout fits (IPv6Tuple is 5 words total); masks
+// with more nonzero words use the slice-based HashMasked/EqualMasked
+// primitives instead.
+const SparseMaskInline = 6
+
+// SparseMask is a precomputed sparse view of a wildcard mask: the nonzero
+// words and their indices, stored inline (no heap indirection) so a
+// classifier probe that embeds one touches no cache lines beyond its own
+// struct. Hash and EqualKey are the inline-array twins of HashMasked and
+// EqualMasked.
+type SparseMask struct {
+	n   uint8
+	idx [SparseMaskInline]uint8
+	w   [SparseMaskInline]uint64
+}
+
+// NewSparseMask builds the sparse view of mask. ok is false when the mask
+// does not fit inline (more than SparseMaskInline nonzero words, or word
+// indices beyond 255) and the caller must keep the slice-based fallback.
+func NewSparseMask(mask Vec) (s SparseMask, ok bool) {
+	for i, w := range mask {
+		if w == 0 {
+			continue
+		}
+		if int(s.n) == SparseMaskInline || i > 255 {
+			return SparseMask{}, false
+		}
+		s.idx[s.n] = uint8(i)
+		s.w[s.n] = w
+		s.n++
+	}
+	return s, true
+}
+
+// Hash returns KeyHash(h AND mask) without materialising the masked
+// vector. Identical to HashMasked(h, mask, mask.NonzeroWords()).
+func (s *SparseMask) Hash(h Vec) uint64 {
+	var x uint64
+	for k := uint8(0); k < s.n; k++ {
+		i := int(s.idx[k])
+		if w := h[i] & s.w[k]; w != 0 {
+			x ^= mixWord(w, i)
+		}
+	}
+	return x
+}
+
+// EqualKey reports whether key == (h AND mask), under the same key ⊆ mask
+// canonicality precondition as EqualMasked.
+func (s *SparseMask) EqualKey(key, h Vec) bool {
+	for k := uint8(0); k < s.n; k++ {
+		i := int(s.idx[k])
+		if key[i] != h[i]&s.w[k] {
+			return false
+		}
+	}
+	return true
 }
 
 // Format renders the vector field by field in binary, e.g. "001|1111" for

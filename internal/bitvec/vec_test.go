@@ -318,6 +318,91 @@ func TestHashSpread(t *testing.T) {
 	}
 }
 
+func TestNonzeroWords(t *testing.T) {
+	v := make(Vec, 4)
+	if got := v.NonzeroWords(); len(got) != 0 {
+		t.Errorf("NonzeroWords(zero) = %v, want empty", got)
+	}
+	v[1], v[3] = 5, 1
+	got := v.NonzeroWords()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("NonzeroWords = %v, want [1 3]", got)
+	}
+}
+
+func TestKeyHashPositionSensitive(t *testing.T) {
+	a := Vec{0xdead, 0}
+	b := Vec{0, 0xdead}
+	if KeyHash(a) == KeyHash(b) {
+		t.Error("KeyHash ignores word position")
+	}
+	// Zero words contribute nothing: padding with zero words preserves the
+	// hash — the property HashMasked's word-skipping relies on.
+	if KeyHash(a) != KeyHash(Vec{0xdead}) {
+		t.Error("KeyHash of zero-padded vector differs")
+	}
+}
+
+func TestMaskedPrimitivesAgainstMaterialised(t *testing.T) {
+	l := IPv4Tuple
+	rng := rand.New(rand.NewSource(99))
+	for n := 0; n < 500; n++ {
+		h, m := NewVec(l), NewVec(l)
+		for i := range h {
+			h[i] = rng.Uint64()
+			// Bias masks sparse so the zero-word skip path is exercised.
+			if rng.Intn(3) == 0 {
+				m[i] = rng.Uint64()
+			}
+		}
+		trim(l, h)
+		trim(l, m)
+		words := m.NonzeroWords()
+		masked := h.And(m)
+		if got, want := HashMasked(h, m, words), KeyHash(masked); got != want {
+			t.Fatalf("HashMasked = %#x, KeyHash(h AND m) = %#x", got, want)
+		}
+		key := masked.Clone()
+		if !EqualMasked(key, h, m, words) {
+			t.Fatal("EqualMasked(h AND m, h, m) = false")
+		}
+		sp, ok := NewSparseMask(m)
+		if !ok {
+			t.Fatal("IPv4Tuple mask must fit a SparseMask inline")
+		}
+		if sp.Hash(h) != KeyHash(masked) {
+			t.Fatal("SparseMask.Hash disagrees with KeyHash")
+		}
+		if !sp.EqualKey(key, h) {
+			t.Fatal("SparseMask.EqualKey(h AND m, h) = false")
+		}
+		// Perturb one covered key bit: equality must now fail everywhere.
+		if len(words) > 0 {
+			w := words[0]
+			key[w] ^= m[w] & -m[w] // flip the mask's lowest covered bit
+			if EqualMasked(key, h, m, words) || sp.EqualKey(key, h) {
+				t.Fatal("masked equality ignored a covered-bit difference")
+			}
+		}
+	}
+}
+
+func TestSparseMaskFallback(t *testing.T) {
+	// A mask with more nonzero words than the inline capacity must refuse.
+	wide := make(Vec, SparseMaskInline+2)
+	for i := range wide {
+		wide[i] = 1
+	}
+	if _, ok := NewSparseMask(wide); ok {
+		t.Errorf("mask with %d nonzero words fit inline (cap %d)", len(wide), SparseMaskInline)
+	}
+	if sp, ok := NewSparseMask(make(Vec, 3)); !ok {
+		t.Error("all-zero mask should fit inline")
+	} else if sp.Hash(Vec{1, 2, 3}) != 0 {
+		t.Error("all-wildcard SparseMask hash should be 0 for any header")
+	}
+}
+
 func TestFormatMasked(t *testing.T) {
 	l := HYP2
 	key, mask := MustPattern(l, "01*|1111")

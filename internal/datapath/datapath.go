@@ -255,7 +255,8 @@ func (w *worker) burst(sw *vswitch.Switch, hs []bitvec.Vec, idx []int, now int64
 		w.stats.Probes += uint64(v.Probes)
 		w.tally(v)
 		if w.emc != nil {
-			w.emc.Insert(missHs[i].Clone(),
+			// The EMC clones internally; no per-packet Clone here.
+			w.emc.Insert(missHs[i],
 				microflow.Result{Action: v.Action, OutPort: v.OutPort})
 		}
 	}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"tse/internal/bitvec"
+	"tse/internal/core"
+	"tse/internal/flowtable"
+	"tse/internal/microflow"
+	"tse/internal/tss"
+	"tse/internal/vswitch"
+)
+
+// BenchSchema versions the JSON layout so downstream tooling can detect
+// format changes.
+const BenchSchema = "tse-bench/v1"
+
+// BenchResult is one measured micro-benchmark in the JSON report.
+type BenchResult struct {
+	// Name identifies the benchmark, stable across PRs (the perf
+	// trajectory is a join on this field).
+	Name string `json:"name"`
+	// NsPerOp, AllocsPerOp, BytesPerOp mirror testing.BenchmarkResult.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// N is the iteration count the timing is averaged over.
+	N int `json:"n"`
+	// Extra carries benchmark-specific dimensions (mask counts etc.).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// BenchReport is the machine-readable perf snapshot tsebench -json emits.
+type BenchReport struct {
+	Schema    string        `json:"schema"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Results   []BenchResult `json:"results"`
+}
+
+// populateMasks installs n entries under n distinct masks (prefix
+// combinations over ip_src/ip_dst/tp_dst), the synthetic TSE attack shape
+// the hot-path benchmarks scan. It mirrors populateDistinctMasks in
+// internal/tss/tss_test.go (unreachable from here without exporting a
+// bench-only helper); keep the two in sync so the JSON trajectory stays
+// comparable with BenchmarkLookupMasks.
+func populateMasks(c *tss.Classifier, l *bitvec.Layout, n int) error {
+	sip, _ := l.FieldIndex("ip_src")
+	dip, _ := l.FieldIndex("ip_dst")
+	dp, _ := l.FieldIndex("tp_dst")
+	count := 0
+	for k := 0; k <= 32 && count < n; k++ {
+		for i := 1; i <= 32 && count < n; i++ {
+			for j := 1; j <= 16 && count < n; j++ {
+				mask := bitvec.PrefixMask(l, sip, i).Or(bitvec.PrefixMask(l, dp, j))
+				key := bitvec.NewVec(l)
+				key.SetFieldBit(l, sip, i-1)
+				key.SetFieldBit(l, dp, j-1)
+				if k > 0 {
+					mask = mask.Or(bitvec.PrefixMask(l, dip, k))
+					key.SetFieldBit(l, dip, k-1)
+				}
+				e := &tss.Entry{Key: key.And(mask), Mask: mask, Action: flowtable.Drop}
+				if err := c.Insert(e, 0); err != nil {
+					return err
+				}
+				count++
+			}
+		}
+	}
+	if count < n {
+		return fmt.Errorf("benchjson: could only build %d of %d masks", count, n)
+	}
+	return nil
+}
+
+// benchVictimKey is the benign web flow used as the probe header.
+func benchVictimKey() bitvec.Vec {
+	l := bitvec.IPv4Tuple
+	h := bitvec.NewVec(l)
+	set := func(name string, v uint64) {
+		i, _ := l.FieldIndex(name)
+		h.SetField(l, i, v)
+	}
+	set("ip_src", 0x08080808)
+	set("ip_dst", 0xc0a80002)
+	set("ip_proto", 6)
+	set("tp_src", 40000)
+	set("tp_dst", 80)
+	return h
+}
+
+// BenchJSON measures the hot-path benchmark suite and returns the report.
+// The suite is intentionally small (a few seconds) and stable-named so
+// successive PRs' JSON files diff into a perf trajectory.
+func BenchJSON() (*BenchReport, error) {
+	rep := &BenchReport{
+		Schema:    BenchSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	add := func(name string, extra map[string]float64, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		rep.Results = append(rep.Results, BenchResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+			Extra:       extra,
+		})
+	}
+
+	// TSS mask-scan cost (Observation 1): full-miss scan at |M| masks.
+	l := bitvec.IPv4Tuple
+	for _, masks := range []int{16, 256, 4096} {
+		c := tss.New(l, tss.Options{DisableOverlapCheck: true})
+		if err := populateMasks(c, l, masks); err != nil {
+			return nil, err
+		}
+		miss := bitvec.NewVec(l)
+		sip, _ := l.FieldIndex("ip_src")
+		miss.SetField(l, sip, 0xffffffff)
+		add(fmt.Sprintf("tss_lookup_miss_masks_%d", masks),
+			map[string]float64{"masks": float64(masks)},
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					c.Lookup(miss, 0)
+				}
+			})
+	}
+
+	// Victim lookup under the co-located attack per §5.2 use case.
+	for _, u := range []flowtable.UseCase{flowtable.Baseline, flowtable.Dp, flowtable.SipDp} {
+		tbl := flowtable.UseCaseACL(u, flowtable.ACLParams{})
+		sw, err := vswitch.New(vswitch.Config{Table: tbl, DisableMicroflow: true})
+		if err != nil {
+			return nil, err
+		}
+		victim := benchVictimKey()
+		sw.Process(victim, 0)
+		if u != flowtable.Baseline {
+			tr, err := core.CoLocated(tbl, core.CoLocatedOptions{})
+			if err != nil {
+				return nil, err
+			}
+			core.Replay(sw, tr, 0)
+		}
+		add(fmt.Sprintf("victim_lookup_%s", u),
+			map[string]float64{"masks": float64(sw.MFC().MaskCount())},
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sw.MFC().Lookup(victim, 0)
+				}
+			})
+	}
+
+	// EMC exact-match lookup, hit and miss.
+	emc := microflow.New(0)
+	hit := benchVictimKey()
+	emc.Insert(hit, microflow.Result{Action: flowtable.Allow})
+	miss := benchVictimKey()
+	dp, _ := l.FieldIndex("tp_dst")
+	miss.SetField(l, dp, 81)
+	add("emc_lookup_hit", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			emc.Lookup(hit)
+		}
+	})
+	add("emc_lookup_miss", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			emc.Lookup(miss)
+		}
+	})
+	return rep, nil
+}
+
+// WriteBenchJSON runs the suite and writes the report to path, logging
+// progress to w.
+func WriteBenchJSON(w io.Writer, path string) error {
+	fmt.Fprintf(w, "running hot-path benchmark suite (this takes a few seconds)...\n")
+	rep, err := BenchJSON()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "%-28s %12.1f ns/op %6d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
+}

@@ -9,6 +9,15 @@
 // §6.1). Eviction is FIFO, a deterministic stand-in for OVS's
 // hash-position-based replacement that has the same churn behaviour under
 // high-entropy traffic.
+//
+// The store is an open-addressing table keyed by a 64-bit fingerprint of
+// the header bits, with the full header cloned into a dense entry array
+// for exact verification (fingerprint collisions fall back to a word
+// compare, never to a wrong answer). Lookup and LookupBatch are
+// allocation-free; Insert allocates only the first time a header enters a
+// given entry slot — refreshes and evict-and-replace cycles reuse the
+// stored key storage, which is what keeps an EMC thrashed by high-entropy
+// attack traffic from turning into Go allocator churn.
 package microflow
 
 import (
@@ -29,14 +38,33 @@ type Result struct {
 	OutPort int
 }
 
+// Stats aggregates cache activity counters.
+type Stats struct {
+	// Hits and Misses count Lookup outcomes (LookupBatch counts each
+	// header individually).
+	Hits, Misses uint64
+	// Evictions counts entries displaced by FIFO replacement; Flush does
+	// not count as eviction.
+	Evictions uint64
+}
+
+// entry is one cached header: the cloned key plus its result.
+type entry struct {
+	key bitvec.Vec
+	res Result
+}
+
 // Cache is a bounded exact-match store. It is safe for concurrent use.
 type Cache struct {
 	mu    sync.Mutex
 	cap   int
-	table map[string]Result
-	fifo  []string // insertion order ring, oldest first
-	hits  uint64
-	miss  uint64
+	slots []int32  // open addressing: index into ents, -1 = empty
+	fps   []uint64 // fingerprint per occupied slot, parallel to slots
+	ents  []entry  // dense entry storage, indices recycled via the FIFO
+	fifo  []int32  // ring of entry indices in insertion order
+	head  int      // fifo read position (oldest entry)
+	n     int      // live entries
+	stats Stats
 }
 
 // New creates a cache with the given capacity; cap <= 0 selects
@@ -45,83 +73,192 @@ func New(cap int) *Cache {
 	if cap <= 0 {
 		cap = DefaultCapacity
 	}
-	return &Cache{cap: cap, table: make(map[string]Result, cap)}
+	// Slot count: power of two, at most half full so probe chains stay
+	// short even at capacity.
+	slots := 8
+	for slots < 2*cap {
+		slots *= 2
+	}
+	c := &Cache{
+		cap:   cap,
+		slots: make([]int32, slots),
+		fps:   make([]uint64, slots),
+		ents:  make([]entry, 0, cap),
+		fifo:  make([]int32, cap),
+	}
+	for i := range c.slots {
+		c.slots[i] = -1
+	}
+	return c
 }
 
-// Lookup returns the cached result for header h.
+// findLocked returns the entry index holding header h, or -1.
+func (c *Cache) findLocked(h bitvec.Vec, fp uint64) int32 {
+	m := uint64(len(c.slots) - 1)
+	for i := fp & m; ; i = (i + 1) & m {
+		ei := c.slots[i]
+		if ei < 0 {
+			return -1
+		}
+		if c.fps[i] == fp && c.ents[ei].key.Equal(h) {
+			return ei
+		}
+	}
+}
+
+// Lookup returns the cached result for header h. It performs no
+// allocation.
 func (c *Cache) Lookup(h bitvec.Vec) (Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, ok := c.table[h.Key()]
-	if ok {
-		c.hits++
-	} else {
-		c.miss++
+	ei := c.findLocked(h, bitvec.KeyHash(h))
+	if ei < 0 {
+		c.stats.Misses++
+		return Result{}, false
 	}
-	return r, ok
+	c.stats.Hits++
+	return c.ents[ei].res, true
 }
 
 // LookupBatch looks up a batch of headers under a single lock acquisition
 // — the per-packet locking a PMD-style worker amortises across its receive
 // burst. res and ok must be at least as long as hs; res[i], ok[i] receive
 // what Lookup(hs[i]) would return. Hit/miss accounting matches len(hs)
-// individual Lookup calls.
+// individual Lookup calls. It performs no allocation.
 func (c *Cache) LookupBatch(hs []bitvec.Vec, res []Result, ok []bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for i, h := range hs {
-		r, hit := c.table[h.Key()]
-		if hit {
-			c.hits++
-		} else {
-			c.miss++
+		ei := c.findLocked(h, bitvec.KeyHash(h))
+		if ei < 0 {
+			c.stats.Misses++
+			res[i], ok[i] = Result{}, false
+			continue
 		}
-		res[i], ok[i] = r, hit
+		c.stats.Hits++
+		res[i], ok[i] = c.ents[ei].res, true
 	}
 }
 
 // Insert caches the result for header h, evicting the oldest entry if the
 // cache is full. Inserting an existing header refreshes its value without
-// moving it in the eviction order.
+// moving it in the eviction order. The header is cloned into the cache (the
+// caller keeps ownership of h); a first-time insert allocates the clone,
+// while an evict-and-replace reuses the evicted entry's key storage.
 func (c *Cache) Insert(h bitvec.Vec, r Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	k := h.Key()
-	if _, exists := c.table[k]; exists {
-		c.table[k] = r
+	fp := bitvec.KeyHash(h)
+	if ei := c.findLocked(h, fp); ei >= 0 {
+		c.ents[ei].res = r
 		return
 	}
-	if len(c.table) >= c.cap {
-		oldest := c.fifo[0]
-		c.fifo = c.fifo[1:]
-		delete(c.table, oldest)
+	var ei int32
+	if c.n >= c.cap {
+		// Evict the oldest entry and reuse its dense index (and, when the
+		// layouts agree, its key storage) for the newcomer.
+		ei = c.fifo[c.head]
+		c.head++
+		if c.head == c.cap {
+			c.head = 0
+		}
+		c.n--
+		c.deleteSlotLocked(c.ents[ei].key)
+		c.stats.Evictions++
+		if len(c.ents[ei].key) == len(h) {
+			copy(c.ents[ei].key, h)
+		} else {
+			c.ents[ei].key = h.Clone()
+		}
+		c.ents[ei].res = r
+	} else {
+		ei = int32(len(c.ents))
+		c.ents = append(c.ents, entry{key: h.Clone(), res: r})
 	}
-	c.table[k] = r
-	c.fifo = append(c.fifo, k)
+	c.insertSlotLocked(fp, ei)
+	c.fifo[(c.head+c.n)%c.cap] = ei
+	c.n++
+}
+
+// insertSlotLocked places entry index ei at the first free cell of fp's
+// probe chain.
+func (c *Cache) insertSlotLocked(fp uint64, ei int32) {
+	m := uint64(len(c.slots) - 1)
+	for i := fp & m; ; i = (i + 1) & m {
+		if c.slots[i] < 0 {
+			c.slots[i], c.fps[i] = ei, fp
+			return
+		}
+	}
+}
+
+// deleteSlotLocked removes the slot holding key, compacting the probe
+// cluster behind it (backward-shift deletion, no tombstones).
+func (c *Cache) deleteSlotLocked(key bitvec.Vec) {
+	fp := bitvec.KeyHash(key)
+	m := uint64(len(c.slots) - 1)
+	i := fp & m
+	for {
+		ei := c.slots[i]
+		if ei < 0 {
+			return // not present; nothing to delete
+		}
+		if c.fps[i] == fp && c.ents[ei].key.Equal(key) {
+			break
+		}
+		i = (i + 1) & m
+	}
+	j := i
+	for {
+		j = (j + 1) & m
+		if c.slots[j] < 0 {
+			break
+		}
+		// The element at j may fill the hole at i iff its home cell is
+		// cyclically at or before i.
+		if (j-c.fps[j])&m >= (j-i)&m {
+			c.slots[i], c.fps[i] = c.slots[j], c.fps[j]
+			i = j
+		}
+	}
+	c.slots[i] = -1
 }
 
 // Len returns the number of cached headers.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.table)
+	return c.n
 }
 
-// Flush empties the cache.
+// Flush empties the cache, resetting the hash table, the dense entry
+// storage, and the FIFO eviction state together so post-flush inserts
+// rebuild the insertion order from scratch. Activity counters (hits,
+// misses, evictions) are cumulative and survive a flush.
 func (c *Cache) Flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.table = make(map[string]Result, c.cap)
-	c.fifo = nil
+	for i := range c.slots {
+		c.slots[i] = -1
+	}
+	c.ents = c.ents[:0]
+	c.head, c.n = 0, 0
+}
+
+// Stats returns a snapshot of the activity counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
 func (c *Cache) HitRate() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	total := c.hits + c.miss
+	total := c.stats.Hits + c.stats.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(c.hits) / float64(total)
+	return float64(c.stats.Hits) / float64(total)
 }

@@ -68,6 +68,199 @@ func TestDefaultCapacity(t *testing.T) {
 	}
 }
 
+// TestStatsAndEvictionOrder drives insert/lookup/refresh sequences and
+// checks the Stats counters plus the FIFO semantics the megaflow-layer
+// equivalence tests depend on: a refresh updates the value but must NOT
+// move the entry in the eviction order, and eviction removes strictly
+// oldest-first.
+func TestStatsAndEvictionOrder(t *testing.T) {
+	cases := []struct {
+		name    string
+		run     func(c *Cache)
+		want    Stats
+		wantLen int
+		// present/absent list headers (by hyp value) to verify afterwards.
+		present, absent []uint64
+	}{
+		{
+			name: "misses then hits",
+			run: func(c *Cache) {
+				c.Lookup(hyp(1)) // miss
+				c.Insert(hyp(1), Result{})
+				c.Lookup(hyp(1)) // hit
+				c.Lookup(hyp(2)) // miss
+			},
+			want:    Stats{Hits: 1, Misses: 2},
+			wantLen: 1, present: []uint64{1}, absent: []uint64{2},
+		},
+		{
+			name: "fifo eviction oldest first",
+			run: func(c *Cache) {
+				c.Insert(hyp(0), Result{})
+				c.Insert(hyp(1), Result{})
+				c.Insert(hyp(2), Result{})
+				c.Insert(hyp(3), Result{}) // evicts 0
+				c.Insert(hyp(4), Result{}) // evicts 1
+			},
+			want:    Stats{Evictions: 2},
+			wantLen: 3, present: []uint64{2, 3, 4}, absent: []uint64{0, 1},
+		},
+		{
+			name: "refresh does not reorder the fifo",
+			run: func(c *Cache) {
+				c.Insert(hyp(0), Result{})
+				c.Insert(hyp(1), Result{})
+				c.Insert(hyp(2), Result{})
+				// Refresh the oldest: it must stay oldest.
+				c.Insert(hyp(0), Result{Action: flowtable.Allow})
+				c.Insert(hyp(3), Result{}) // must evict 0, not 1
+			},
+			want:    Stats{Evictions: 1},
+			wantLen: 3, present: []uint64{1, 2, 3}, absent: []uint64{0},
+		},
+		{
+			name: "reinsert after eviction goes to the back",
+			run: func(c *Cache) {
+				c.Insert(hyp(0), Result{})
+				c.Insert(hyp(1), Result{})
+				c.Insert(hyp(2), Result{})
+				c.Insert(hyp(3), Result{}) // evicts 0
+				c.Insert(hyp(0), Result{}) // evicts 1; 0 is newest again
+				c.Insert(hyp(4), Result{}) // evicts 2
+			},
+			want:    Stats{Evictions: 3},
+			wantLen: 3, present: []uint64{3, 0, 4}, absent: []uint64{1, 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(3)
+			tc.run(c)
+			s := c.Stats()
+			if s.Evictions != tc.want.Evictions {
+				t.Errorf("Evictions = %d, want %d", s.Evictions, tc.want.Evictions)
+			}
+			if tc.want.Hits+tc.want.Misses > 0 && (s.Hits != tc.want.Hits || s.Misses != tc.want.Misses) {
+				t.Errorf("Hits/Misses = %d/%d, want %d/%d", s.Hits, s.Misses, tc.want.Hits, tc.want.Misses)
+			}
+			if c.Len() != tc.wantLen {
+				t.Errorf("Len = %d, want %d", c.Len(), tc.wantLen)
+			}
+			for _, v := range tc.present {
+				if _, ok := c.Lookup(hyp(v)); !ok {
+					t.Errorf("header %d missing", v)
+				}
+			}
+			for _, v := range tc.absent {
+				if _, ok := c.Lookup(hyp(v)); ok {
+					t.Errorf("header %d should have been evicted", v)
+				}
+			}
+		})
+	}
+}
+
+// TestFlushResetsEvictionState: after a flush, the FIFO restarts from
+// scratch — eviction order is the post-flush insertion order, unaffected
+// by pre-flush history.
+func TestFlushResetsEvictionState(t *testing.T) {
+	c := New(2)
+	c.Insert(hyp(0), Result{})
+	c.Insert(hyp(1), Result{})
+	c.Insert(hyp(2), Result{}) // evicts 0
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after flush", c.Len())
+	}
+	c.Insert(hyp(5), Result{})
+	c.Insert(hyp(6), Result{})
+	c.Insert(hyp(7), Result{}) // must evict 5, the post-flush oldest
+	if _, ok := c.Lookup(hyp(5)); ok {
+		t.Error("post-flush oldest entry not evicted first")
+	}
+	for _, v := range []uint64{6, 7} {
+		if _, ok := c.Lookup(hyp(v)); !ok {
+			t.Errorf("header %d missing after post-flush churn", v)
+		}
+	}
+	// Counters are cumulative across the flush: evictions 1 (pre) + 1 (post).
+	if s := c.Stats(); s.Evictions != 2 {
+		t.Errorf("Evictions = %d, want 2 (cumulative across Flush)", s.Evictions)
+	}
+}
+
+// TestInsertClones: the cache must not alias the caller's header slice.
+func TestInsertClones(t *testing.T) {
+	c := New(4)
+	h := hyp(3)
+	c.Insert(h, Result{Action: flowtable.Allow})
+	h.SetField(bitvec.HYP, 0, 5) // scribble on the caller's copy
+	if _, ok := c.Lookup(hyp(3)); !ok {
+		t.Error("cache aliased the caller's header")
+	}
+	if _, ok := c.Lookup(h); ok {
+		t.Error("mutated header should miss")
+	}
+}
+
+// TestLookupZeroAlloc asserts the EMC hot path never allocates — the
+// tentpole invariant of the zero-allocation fast path.
+func TestLookupZeroAlloc(t *testing.T) {
+	c := New(8)
+	hit := hyp(1)
+	miss := hyp(2)
+	c.Insert(hit, Result{Action: flowtable.Allow})
+	if a := testing.AllocsPerRun(200, func() { c.Lookup(hit) }); a != 0 {
+		t.Errorf("Lookup(hit) allocates %v/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() { c.Lookup(miss) }); a != 0 {
+		t.Errorf("Lookup(miss) allocates %v/op, want 0", a)
+	}
+	hs := []bitvec.Vec{hit, miss, hit}
+	res := make([]Result, len(hs))
+	ok := make([]bool, len(hs))
+	if a := testing.AllocsPerRun(200, func() { c.LookupBatch(hs, res, ok) }); a != 0 {
+		t.Errorf("LookupBatch allocates %v/op, want 0", a)
+	}
+	// Evict-and-replace reuses the evicted entry's key storage: steady-state
+	// insert churn on a full cache is allocation-free too.
+	full := New(2)
+	full.Insert(hyp(0), Result{})
+	full.Insert(hyp(1), Result{})
+	next := uint64(2)
+	h := bitvec.NewVec(bitvec.HYP)
+	if a := testing.AllocsPerRun(200, func() {
+		h.SetField(bitvec.HYP, 0, next%8)
+		next++
+		full.Insert(h, Result{})
+	}); a != 0 {
+		t.Errorf("steady-state Insert allocates %v/op, want 0", a)
+	}
+}
+
+// BenchmarkEMCLookup prices the exact-match hot path (hit and miss).
+func BenchmarkEMCLookup(b *testing.B) {
+	c := New(0)
+	l := bitvec.IPv4Tuple
+	hit := bitvec.NewVec(l)
+	hit.SetField(l, 0, 0x0a000001)
+	miss := bitvec.NewVec(l)
+	miss.SetField(l, 0, 0x0a000002)
+	c.Insert(hit, Result{Action: flowtable.Allow})
+	b.Run("hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Lookup(hit)
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Lookup(miss)
+		}
+	})
+}
+
 func TestFlushAndHitRate(t *testing.T) {
 	c := New(4)
 	c.Insert(hyp(1), Result{})

@@ -114,7 +114,7 @@ func TestLookupBatchEmpty(t *testing.T) {
 
 // BenchmarkLookupBatch compares per-packet Lookup against LookupBatch on
 // the same hit-only burst: the batch amortises the reader-lock round trip
-// and the scratch-vector fetch over 32 packets.
+// over 32 packets.
 func BenchmarkLookupBatch(b *testing.B) {
 	c, hs := exactCacheWithMasks(b, 15)
 	burst := make([]bitvec.Vec, 32)

@@ -78,85 +78,215 @@ func (e *Entry) Format(l *bitvec.Layout) string {
 	return fmt.Sprintf("%s -> %s", bitvec.FormatMasked(l, e.Key, e.Mask), e.Action)
 }
 
-// group is one tuple: a mask plus the hash of keys sharing it. Entries are
-// bucketed by a cheap word hash of the key so the lookup hot path performs
-// no allocation; bucket collisions are resolved by exact comparison.
+// group is one tuple: a mask plus the hash table of keys sharing it,
+// OVS-subtable style. Two precomputations make the lookup probe cheap:
+// words caches the mask's nonzero word indices, so hashing and comparing a
+// header under the mask touches only the words the mask can constrain
+// (miniflow-style sparsity) and never materialises the masked header; and
+// entries live in a power-of-two open-addressing slot array (fingerprint +
+// entry pointer, linear probing) rather than a Go map, so a probe is an
+// array walk with no map-runtime calls and no allocation. Slots are only
+// mutated under the classifier's writer lock; readers scan under the
+// shared reader lock.
 type group struct {
+	// slots and sparse lead the struct so a lookup probe's loads stay
+	// within the group's first cache lines.
+	slots    []slot
+	sparse   bitvec.SparseMask // inline nonzero-word view of mask
+	sparseOK bool              // mask fits inline; else use mask/words
+	solo     *Entry            // the sole entry while n == 1, else nil
+	soloFP   uint64            // solo's fingerprint
+
 	mask    bitvec.Vec
 	maskKey string
 	hash    uint64
-	entries map[uint64][]*Entry
+	words   []int // nonzero word indices of mask, in order
 	n       int
 	hits    uint64
 	seq     int
 }
 
-// keyHash mixes the vector words into a bucket key without allocating.
-func keyHash(v bitvec.Vec) uint64 {
-	h := uint64(0x9e3779b97f4a7c15)
-	for _, w := range v {
-		h ^= w
-		h *= 0xff51afd7ed558ccd
-		h ^= h >> 33
-	}
-	return h
+// slot is one open-addressing cell: the key's fingerprint (keyHash) for a
+// cheap first-pass reject, plus the entry. e == nil marks the cell empty.
+type slot struct {
+	fp uint64
+	e  *Entry
 }
 
-// find returns the entry in g whose key equals k, or nil.
-func (g *group) find(k bitvec.Vec) *Entry {
-	for _, e := range g.entries[keyHash(k)] {
-		if e.Key.Equal(k) {
-			return e
+// minGroupSlots keeps even one-entry groups probe-cheap without resizing on
+// every early insert.
+const minGroupSlots = 8
+
+// newGroup builds an empty group for the (already cloned) mask.
+func newGroup(mask bitvec.Vec, maskKey string, seq int) *group {
+	g := &group{
+		mask:    mask,
+		maskKey: maskKey,
+		hash:    mask.Hash(),
+		words:   mask.NonzeroWords(),
+		slots:   make([]slot, minGroupSlots),
+		seq:     seq,
+	}
+	g.sparse, g.sparseOK = bitvec.NewSparseMask(mask)
+	return g
+}
+
+// hashHeader returns the fingerprint of h under the group's mask,
+// KeyHash(h AND mask), via the inline sparse view when the mask fits.
+func (g *group) hashHeader(h bitvec.Vec) uint64 {
+	if g.sparseOK {
+		return g.sparse.Hash(h)
+	}
+	return bitvec.HashMasked(h, g.mask, g.words)
+}
+
+// equalKey reports key == (h AND mask) for a stored (canonical) key.
+func (g *group) equalKey(key, h bitvec.Vec) bool {
+	if g.sparseOK {
+		return g.sparse.EqualKey(key, h)
+	}
+	return bitvec.EqualMasked(key, h, g.mask, g.words)
+}
+
+// keyHash mixes the vector words into a bucket fingerprint without
+// allocating. It is bitvec.KeyHash, shared with HashMasked so that the
+// masked fast path and the exact writer-side paths agree on fingerprints.
+func keyHash(v bitvec.Vec) uint64 { return bitvec.KeyHash(v) }
+
+// findMasked returns the entry matching header h under the group's mask
+// (the one whose key equals h AND mask), or nil. This is the lookup hot
+// path: hash and compare run fused over the mask's nonzero words only, so
+// no scratch vector and no allocation.
+func (g *group) findMasked(h bitvec.Vec) *Entry {
+	fp := g.hashHeader(h)
+	m := uint64(len(g.slots) - 1)
+	for i := fp & m; ; i = (i + 1) & m {
+		s := g.slots[i]
+		if s.e == nil {
+			return nil
+		}
+		if s.fp == fp && g.equalKey(s.e.Key, h) {
+			return s.e
 		}
 	}
-	return nil
 }
 
-// put inserts e (whose key must not already be present).
+// find returns the entry in g whose key equals k, or nil (writer-side
+// exact probe; k must already be canonical for the mask).
+func (g *group) find(k bitvec.Vec) *Entry {
+	fp := keyHash(k)
+	m := uint64(len(g.slots) - 1)
+	for i := fp & m; ; i = (i + 1) & m {
+		s := g.slots[i]
+		if s.e == nil {
+			return nil
+		}
+		if s.fp == fp && s.e.Key.Equal(k) {
+			return s.e
+		}
+	}
+}
+
+// put inserts e (whose key must not already be present), growing the slot
+// array past 3/4 load.
 func (g *group) put(e *Entry) {
-	h := keyHash(e.Key)
-	g.entries[h] = append(g.entries[h], e)
+	if (g.n+1)*4 > len(g.slots)*3 {
+		old := g.slots
+		g.slots = make([]slot, len(old)*2)
+		for _, s := range old {
+			if s.e != nil {
+				g.insertSlot(s.fp, s.e)
+			}
+		}
+	}
+	fp := keyHash(e.Key)
+	g.insertSlot(fp, e)
 	g.n++
+	if g.n == 1 {
+		g.solo, g.soloFP = e, fp
+	} else {
+		g.solo = nil
+	}
 }
 
-// replace swaps old for e in its bucket (same key, so same hash).
-func (g *group) replace(old, e *Entry) {
-	bucket := g.entries[keyHash(old.Key)]
-	for i, x := range bucket {
-		if x == old {
-			bucket[i] = e
+// insertSlot places e at the first free cell of its probe chain.
+func (g *group) insertSlot(fp uint64, e *Entry) {
+	m := uint64(len(g.slots) - 1)
+	for i := fp & m; ; i = (i + 1) & m {
+		if g.slots[i].e == nil {
+			g.slots[i] = slot{fp: fp, e: e}
 			return
 		}
 	}
 }
 
-// remove deletes the entry with key k, reporting success.
-func (g *group) remove(k bitvec.Vec) bool {
-	h := keyHash(k)
-	bucket := g.entries[h]
-	for i, e := range bucket {
-		if e.Key.Equal(k) {
-			bucket[i] = bucket[len(bucket)-1]
-			bucket = bucket[:len(bucket)-1]
-			if len(bucket) == 0 {
-				delete(g.entries, h)
-			} else {
-				g.entries[h] = bucket
+// replace swaps old for e in its slot (same key, so same fingerprint).
+func (g *group) replace(old, e *Entry) {
+	m := uint64(len(g.slots) - 1)
+	for i := keyHash(old.Key) & m; ; i = (i + 1) & m {
+		if g.slots[i].e == old {
+			g.slots[i].e = e
+			if g.solo == old {
+				g.solo = e
 			}
-			g.n--
-			return true
+			return
+		}
+		if g.slots[i].e == nil {
+			return
 		}
 	}
-	return false
+}
+
+// remove deletes the entry with key k, reporting success. Deletion uses
+// backward-shift compaction (no tombstones): the probe cluster after the
+// hole is re-packed so linear probing stays correct.
+func (g *group) remove(k bitvec.Vec) bool {
+	fp := keyHash(k)
+	m := uint64(len(g.slots) - 1)
+	i := fp & m
+	for {
+		s := g.slots[i]
+		if s.e == nil {
+			return false
+		}
+		if s.fp == fp && s.e.Key.Equal(k) {
+			break
+		}
+		i = (i + 1) & m
+	}
+	j := i
+	for {
+		j = (j + 1) & m
+		s := g.slots[j]
+		if s.e == nil {
+			break
+		}
+		// s may fill the hole at i iff its home cell is cyclically at or
+		// before i (moving it cannot break its own probe chain).
+		if (j-s.fp)&m >= (j-i)&m {
+			g.slots[i] = s
+			i = j
+		}
+	}
+	g.slots[i] = slot{}
+	g.n--
+	g.solo = nil
+	if g.n == 1 {
+		for _, s := range g.slots {
+			if s.e != nil {
+				g.solo, g.soloFP = s.e, s.fp
+				break
+			}
+		}
+	}
+	return true
 }
 
 // each calls f for every entry; f returning false stops the walk.
 func (g *group) each(f func(*Entry) bool) {
-	for _, bucket := range g.entries {
-		for _, e := range bucket {
-			if !f(e) {
-				return
-			}
+	for _, s := range g.slots {
+		if s.e != nil && !f(s.e) {
+			return
 		}
 	}
 }
@@ -194,30 +324,64 @@ type Options struct {
 type Classifier struct {
 	mu      sync.RWMutex
 	layout  *bitvec.Layout
-	groups  []*group // in scan order
+	groups  []*group    // in scan order
+	scan    []scanProbe // flat per-probe hot data, parallel to groups
 	byMask  map[string]*group
 	nEntry  int
 	nextSeq int
 	opts    Options
 	stats   Stats
 	dirty   atomic.Bool // OrderHitCount needs re-sort
-	scratch bitvec.Vec  // writer-side scratch; reader paths use the pool
-	pool    sync.Pool   // *bitvec.Vec scratch for concurrent lookups
+}
+
+// scanProbe is one step of the lookup scan, flattened: the group's inline
+// sparse mask copied next to its group pointer so the O(|M|) scan walks
+// sequential memory the hardware prefetcher can stream, instead of chasing
+// a pointer per mask. Groups holding exactly one entry — the shape TSE
+// attack state takes, one megaflow per inflated mask — additionally have
+// that entry's fingerprint and pointer inlined, so a probe that misses
+// such a group decides on the streamed fingerprint alone and never loads
+// the group's slot table. Rebuilt under the writer lock after any
+// structural change.
+type scanProbe struct {
+	sparse   bitvec.SparseMask
+	fp0      uint64 // fingerprint of the sole entry, when e0 != nil
+	e0       *Entry // sole entry of a one-entry inline-mask group
+	g        *group
+	sparseOK bool
+}
+
+// rebuildScanLocked refreshes the flat scan list from c.groups. Called
+// under the writer lock after any change that adds, drops, or reorders
+// groups, or changes a group's entry membership.
+func (c *Classifier) rebuildScanLocked() {
+	if cap(c.scan) < len(c.groups) {
+		// Grow with slack: an attack installing one new mask per upcall
+		// must not reallocate the scan list on every insert.
+		c.scan = make([]scanProbe, len(c.groups), 2*len(c.groups)+16)
+	}
+	// Clear any tail beyond the new length so a post-wipe shrink does not
+	// pin deleted entries and groups through the backing array.
+	for i := len(c.groups); i < len(c.scan); i++ {
+		c.scan[i] = scanProbe{}
+	}
+	c.scan = c.scan[:len(c.groups)]
+	for i, g := range c.groups {
+		p := scanProbe{sparse: g.sparse, sparseOK: g.sparseOK, g: g}
+		if g.sparseOK && g.solo != nil {
+			p.fp0, p.e0 = g.soloFP, g.solo
+		}
+		c.scan[i] = p
+	}
 }
 
 // New creates an empty classifier over the layout.
 func New(l *bitvec.Layout, opts Options) *Classifier {
-	c := &Classifier{
-		layout:  l,
-		byMask:  make(map[string]*group),
-		opts:    opts,
-		scratch: bitvec.NewVec(l),
+	return &Classifier{
+		layout: l,
+		byMask: make(map[string]*group),
+		opts:   opts,
 	}
-	c.pool.New = func() any {
-		v := bitvec.NewVec(l)
-		return &v
-	}
-	return c
 }
 
 // Layout returns the classifier's header layout.
@@ -228,27 +392,36 @@ func (c *Classifier) Layout() *bitvec.Layout { return c.layout }
 // attack drives up), and whether the lookup hit.
 func (c *Classifier) Lookup(h bitvec.Vec, now int64) (*Entry, int, bool) {
 	c.maybeResort()
-	scratch := c.pool.Get().(*bitvec.Vec)
 	c.mu.RLock()
-	e, probes, ok := c.lookupRLocked(h, now, *scratch)
+	e, probes, ok := c.lookupRLocked(h, now)
 	c.mu.RUnlock()
-	c.pool.Put(scratch)
 	return e, probes, ok
 }
 
 // lookupRLocked runs Algorithm 1 under a held reader lock: for M ∈ M, look
-// up (h AND M) in H_M; first hit wins. Hit accounting is atomic so any
-// number of readers may run concurrently.
-func (c *Classifier) lookupRLocked(h bitvec.Vec, now int64, scratch bitvec.Vec) (*Entry, int, bool) {
+// up (h AND M) in H_M; first hit wins. Each probe runs fused over the
+// mask's nonzero words (no scratch vector, no allocation). Hit accounting
+// is atomic so any number of readers may run concurrently.
+func (c *Classifier) lookupRLocked(h bitvec.Vec, now int64) (*Entry, int, bool) {
 	atomic.AddUint64(&c.stats.Lookups, 1)
 	probes := 0
-	for _, g := range c.groups {
+	for k := range c.scan {
+		p := &c.scan[k]
 		probes++
-		h.AndInto(g.mask, scratch)
-		if e := g.find(scratch); e != nil {
+		var e *Entry
+		if p.e0 != nil {
+			// One-entry group: decide on the inlined fingerprint; only a
+			// match (or a 2^-64 collision) touches the entry itself.
+			if p.sparse.Hash(h) == p.fp0 && p.sparse.EqualKey(p.e0.Key, h) {
+				e = p.e0
+			}
+		} else {
+			e = p.g.findMasked(h)
+		}
+		if e != nil {
 			atomic.AddUint64(&e.Hits, 1)
 			atomic.StoreInt64(&e.LastUsed, now)
-			atomic.AddUint64(&g.hits, 1)
+			atomic.AddUint64(&p.g.hits, 1)
 			if c.opts.Order == OrderHitCount {
 				c.dirty.Store(true)
 			}
@@ -290,11 +463,10 @@ func (c *Classifier) LookupBatch(hs []bitvec.Vec, now int64, out []BatchResult) 
 		return 0
 	}
 	c.maybeResort()
-	scratch := c.pool.Get().(*bitvec.Vec)
 	c.mu.RLock()
 	n := 0
 	for _, h := range hs {
-		e, probes, ok := c.lookupRLocked(h, now, *scratch)
+		e, probes, ok := c.lookupRLocked(h, now)
 		out[n] = BatchResult{Entry: e, Probes: probes, OK: ok}
 		n++
 		if !ok {
@@ -302,7 +474,6 @@ func (c *Classifier) LookupBatch(hs []bitvec.Vec, now int64, out []BatchResult) 
 		}
 	}
 	c.mu.RUnlock()
-	c.pool.Put(scratch)
 	return n
 }
 
@@ -353,6 +524,12 @@ func (c *Classifier) Insert(e *Entry, now int64) error {
 			e.LastUsed = now
 			e.Hits = atomic.LoadUint64(&old.Hits)
 			g.replace(old, e)
+			// The scan list inlines the entry pointer only for one-entry
+			// groups; multi-entry groups probe through g.slots, which
+			// replace already fixed in place.
+			if g.n == 1 {
+				c.rebuildScanLocked()
+			}
 			return nil
 		}
 	}
@@ -362,13 +539,7 @@ func (c *Classifier) Insert(e *Entry, now int64) error {
 		}
 	}
 	if g == nil {
-		g = &group{
-			mask:    e.Mask.Clone(),
-			maskKey: mk,
-			hash:    e.Mask.Hash(),
-			entries: make(map[uint64][]*Entry),
-			seq:     c.nextSeq,
-		}
+		g = newGroup(e.Mask.Clone(), mk, c.nextSeq)
 		c.nextSeq++
 		c.byMask[mk] = g
 		c.groups = append(c.groups, g)
@@ -378,6 +549,7 @@ func (c *Classifier) Insert(e *Entry, now int64) error {
 	g.put(e)
 	c.nEntry++
 	c.stats.Inserted++
+	c.rebuildScanLocked()
 	return nil
 }
 
@@ -386,10 +558,9 @@ func (c *Classifier) findOverlapLocked(e *Entry) *Entry {
 	for _, g := range c.groups {
 		// Fast path: if the group's mask is a subset of e's mask, an
 		// overlap within this group must agree with e on the group mask,
-		// so a single hash probe decides.
+		// so a single masked hash probe decides.
 		if g.mask.SubsetOf(e.Mask) {
-			e.Key.AndInto(g.mask, c.scratch)
-			if ex := g.find(c.scratch); ex != nil {
+			if ex := g.findMasked(e.Key); ex != nil {
 				return ex
 			}
 			continue
@@ -439,6 +610,7 @@ func (c *Classifier) resortLocked() {
 	sort.SliceStable(c.groups, func(i, j int) bool {
 		return atomic.LoadUint64(&c.groups[i].hits) > atomic.LoadUint64(&c.groups[j].hits)
 	})
+	c.rebuildScanLocked()
 	c.dirty.Store(false)
 }
 
@@ -458,6 +630,7 @@ func (c *Classifier) Delete(key, mask bitvec.Vec) bool {
 	c.stats.Deleted++
 	if g.n == 0 {
 		c.dropGroupLocked(g)
+		c.rebuildScanLocked()
 	}
 	return true
 }
@@ -486,6 +659,7 @@ func (c *Classifier) DeleteWhere(pred func(*Entry) bool) int {
 			c.dropGroupLocked(g)
 		}
 	}
+	c.rebuildScanLocked()
 	c.stats.Deleted += uint64(removed)
 	return removed
 }

@@ -330,6 +330,140 @@ func TestMaskOrderHitCount(t *testing.T) {
 	}
 }
 
+// TestProbePositionHitCountResort: ProbePosition must observe the lazily
+// re-sorted order under OrderHitCount — a hammered mask's position moves to
+// the front even when the resort trigger was a lookup, not an insert.
+func TestProbePositionHitCountResort(t *testing.T) {
+	c := New(bitvec.HYP, Options{Order: OrderHitCount})
+	loadFig3(t, c)
+	// Hammer header 100 (mask 100): 10 hits against 0 for the others.
+	for i := 0; i < 10; i++ {
+		c.Lookup(hyp(4), 0)
+	}
+	hotMask := bitvec.PrefixMask(bitvec.HYP, 0, 1)
+	if pos := c.ProbePosition(hotMask); pos != 1 {
+		t.Errorf("hot mask position = %d, want 1 (hit-count resort)", pos)
+	}
+	// Now hammer an entry under the exact mask harder; positions flip.
+	for i := 0; i < 25; i++ {
+		c.Lookup(hyp(1), 0)
+	}
+	exact := bitvec.FullMask(bitvec.HYP)
+	if pos := c.ProbePosition(exact); pos != 1 {
+		t.Errorf("exact mask position = %d, want 1 after taking the lead", pos)
+	}
+	if pos := c.ProbePosition(hotMask); pos != 2 {
+		t.Errorf("demoted mask position = %d, want 2", pos)
+	}
+	// An absent mask still reports 0 under OrderHitCount.
+	absent := bitvec.NewVec(bitvec.HYP)
+	absent.SetFieldBit(bitvec.HYP, 0, 2)
+	if pos := c.ProbePosition(absent); pos != 0 {
+		t.Errorf("absent mask position = %d, want 0", pos)
+	}
+}
+
+// TestExpireIdleHitCountResort: expiry under OrderHitCount must (a) keep
+// recently-hit entries whose hits marked the scan order dirty, and (b)
+// leave the classifier consistent so the next lookup's lazy resort works
+// off the surviving groups.
+func TestExpireIdleHitCountResort(t *testing.T) {
+	c := New(bitvec.HYP, Options{Order: OrderHitCount})
+	loadFig3(t, c)
+	// Hit mask 100 at t=100 (marks order dirty); others stay at t=0.
+	for i := 0; i < 5; i++ {
+		c.Lookup(hyp(4), 100)
+	}
+	if evicted := c.ExpireIdle(105, 10); evicted != 3 {
+		t.Fatalf("evicted %d, want 3", evicted)
+	}
+	if c.EntryCount() != 1 || c.MaskCount() != 1 {
+		t.Fatalf("post-expiry: %d entries, %d masks, want 1/1", c.EntryCount(), c.MaskCount())
+	}
+	// The survivor is the hammered 1** entry, now trivially at position 1.
+	e, probes, ok := c.Lookup(hyp(4), 106)
+	if !ok || probes != 1 {
+		t.Errorf("survivor lookup: ok=%v probes=%d, want hit at position 1", ok, probes)
+	}
+	if ok && e.Hits != 6 {
+		t.Errorf("survivor hits = %d, want 6 (5 pre-expiry + 1)", e.Hits)
+	}
+	mask := bitvec.PrefixMask(bitvec.HYP, 0, 1)
+	if pos := c.ProbePosition(mask); pos != 1 {
+		t.Errorf("survivor mask position = %d, want 1", pos)
+	}
+}
+
+// TestLookupZeroAlloc asserts the classifier hot path never allocates, on
+// hits and on full-scan misses — the tentpole invariant. The scratch-free
+// probe (HashMasked/EqualMasked over the mask's nonzero words) is what
+// makes this possible.
+func TestLookupZeroAlloc(t *testing.T) {
+	l := bitvec.IPv4Tuple
+	c := New(l, Options{DisableOverlapCheck: true})
+	populateDistinctMasks(c, l, 64)
+	hit := bitvec.NewVec(l)
+	sip, _ := l.FieldIndex("ip_src")
+	dp, _ := l.FieldIndex("tp_dst")
+	hit.SetFieldBit(l, sip, 0)
+	hit.SetFieldBit(l, dp, 0) // the (i=1, j=1) entry's key
+	if _, _, ok := c.Lookup(hit, 0); !ok {
+		t.Fatal("expected probe header to hit")
+	}
+	miss := bitvec.NewVec(l)
+	miss.SetField(l, sip, 0xffffffff)
+	if _, _, ok := c.Lookup(miss, 0); ok {
+		t.Fatal("expected probe header to miss")
+	}
+	if a := testing.AllocsPerRun(200, func() { c.Lookup(hit, 0) }); a != 0 {
+		t.Errorf("Lookup(hit) allocates %v/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() { c.Lookup(miss, 0) }); a != 0 {
+		t.Errorf("Lookup(miss) allocates %v/op, want 0", a)
+	}
+	hs := []bitvec.Vec{hit, hit, hit}
+	out := make([]BatchResult, len(hs))
+	if a := testing.AllocsPerRun(200, func() { c.LookupBatch(hs, 0, out) }); a != 0 {
+		t.Errorf("LookupBatch allocates %v/op, want 0", a)
+	}
+}
+
+// FuzzHashMasked cross-checks the fused sparse primitives against their
+// materialised equivalents: HashMasked/SparseMask.Hash must equal
+// keyHash(h AND m), and EqualMasked/SparseMask.EqualKey must agree with
+// building h AND m and comparing, for arbitrary header/mask/key words.
+func FuzzHashMasked(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(0xffffffffffffffff), uint64(0xff), uint64(1), uint64(2), uint64(3), uint64(4))
+	f.Add(uint64(1)<<63, uint64(0), uint64(0), uint64(0xf0f0), uint64(1), uint64(0))
+	f.Fuzz(func(t *testing.T, h0, h1, m0, m1, k0, k1 uint64) {
+		l := bitvec.IPv4Tuple
+		h, m, kh := bitvec.NewVec(l), bitvec.NewVec(l), bitvec.NewVec(l)
+		copy(h, []uint64{h0, h1})
+		copy(m, []uint64{m0, m1})
+		copy(kh, []uint64{k0, k1})
+		words := m.NonzeroWords()
+		masked := h.And(m)
+		if got, want := bitvec.HashMasked(h, m, words), keyHash(masked); got != want {
+			t.Errorf("HashMasked = %#x, keyHash(h AND m) = %#x", got, want)
+		}
+		key := kh.And(m) // canonical: key ⊆ mask
+		if got, want := bitvec.EqualMasked(key, h, m, words), key.Equal(masked); got != want {
+			t.Errorf("EqualMasked = %v, materialised equality = %v", got, want)
+		}
+		if sp, ok := bitvec.NewSparseMask(m); ok {
+			if got, want := sp.Hash(h), keyHash(masked); got != want {
+				t.Errorf("SparseMask.Hash = %#x, keyHash(h AND m) = %#x", got, want)
+			}
+			if got, want := sp.EqualKey(key, h), key.Equal(masked); got != want {
+				t.Errorf("SparseMask.EqualKey = %v, materialised equality = %v", got, want)
+			}
+		} else {
+			t.Error("IPv4Tuple mask must fit a SparseMask inline")
+		}
+	})
+}
+
 func TestHashOrderDeterministic(t *testing.T) {
 	build := func() []bitvec.Vec {
 		c := New(bitvec.HYP, Options{})
@@ -483,23 +617,37 @@ func TestObservation1ProbesLinear(t *testing.T) {
 }
 
 // populateDistinctMasks installs n entries with n distinct masks shaped
-// like TSE deny megaflows (prefix combinations over ip_src/tp_dst).
+// like TSE deny megaflows (prefix combinations over ip_src/tp_dst, with an
+// ip_dst prefix dimension unlocking mask counts past 512; mirrored by
+// populateMasks in internal/experiments/benchjson.go — keep in sync so the
+// JSON perf trajectory stays comparable). The first 512
+// masks (k == 0) are pairwise disjoint; the k > 0 extension reuses the same
+// ip_src/tp_dst key bits and may overlap the k == 0 plane, so callers
+// needing more than 512 masks must disable the overlap check (the
+// large-mask-count benchmarks do).
 func populateDistinctMasks(c *Classifier, l *bitvec.Layout, n int) {
 	sip, _ := l.FieldIndex("ip_src")
+	dip, _ := l.FieldIndex("ip_dst")
 	dp, _ := l.FieldIndex("tp_dst")
 	count := 0
-	for i := 1; i <= 32 && count < n; i++ {
-		for j := 1; j <= 16 && count < n; j++ {
-			mask := bitvec.PrefixMask(l, sip, i).Or(bitvec.PrefixMask(l, dp, j))
-			key := bitvec.NewVec(l)
-			// Key: 0...01 prefix in each field so entries are disjoint
-			// (first i-1 bits zero, bit i-1 set).
-			key.SetFieldBit(l, sip, i-1)
-			key.SetFieldBit(l, dp, j-1)
-			if err := c.Insert(&Entry{Key: key.And(mask), Mask: mask, Action: flowtable.Drop}, 0); err != nil {
-				panic(err)
+	for k := 0; k <= 32 && count < n; k++ {
+		for i := 1; i <= 32 && count < n; i++ {
+			for j := 1; j <= 16 && count < n; j++ {
+				mask := bitvec.PrefixMask(l, sip, i).Or(bitvec.PrefixMask(l, dp, j))
+				key := bitvec.NewVec(l)
+				// Key: 0...01 prefix in each field so entries are disjoint
+				// (first i-1 bits zero, bit i-1 set).
+				key.SetFieldBit(l, sip, i-1)
+				key.SetFieldBit(l, dp, j-1)
+				if k > 0 {
+					mask = mask.Or(bitvec.PrefixMask(l, dip, k))
+					key.SetFieldBit(l, dip, k-1)
+				}
+				if err := c.Insert(&Entry{Key: key.And(mask), Mask: mask, Action: flowtable.Drop}, 0); err != nil {
+					panic(err)
+				}
+				count++
 			}
-			count++
 		}
 	}
 	if count < n {
@@ -509,7 +657,7 @@ func populateDistinctMasks(c *Classifier, l *bitvec.Layout, n int) {
 
 func BenchmarkLookupMasks(b *testing.B) {
 	l := bitvec.IPv4Tuple
-	for _, masks := range []int{1, 16, 64, 256, 512} {
+	for _, masks := range []int{16, 256, 4096} {
 		b.Run(fmt.Sprintf("masks=%d", masks), func(b *testing.B) {
 			c := New(l, Options{DisableOverlapCheck: true})
 			populateDistinctMasks(c, l, masks)
