@@ -3,6 +3,11 @@
 // its 10-second cadence, and prints the per-second timeline of masks,
 // victim lookup cost, and projected slow-path CPU load.
 //
+// Megaflow lifecycle — idle expiry and the guard's monitor deletions —
+// runs through one upcall.Revalidator, the same dump/expire machinery the
+// asynchronous slow path uses, so there is a single lifecycle path rather
+// than separate Tick and guard sweeps.
+//
 // Usage:
 //
 //	mfcguard -use SipDp -rate 1000 -duration 60 -mask-threshold 100
@@ -17,6 +22,7 @@ import (
 	"tse/internal/core"
 	"tse/internal/flowtable"
 	"tse/internal/mitigation"
+	"tse/internal/upcall"
 	"tse/internal/vswitch"
 )
 
@@ -45,8 +51,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	rv, err := upcall.NewRevalidator(upcall.RevalidatorConfig{Switch: sw})
+	if err != nil {
+		return err
+	}
 	guard, err := mitigation.New(mitigation.Config{
-		Switch: sw, MaskThreshold: *mth, CPUThreshold: *cth, DeleteAllDrops: *allDrops})
+		Switch: sw, Sweeper: rv,
+		MaskThreshold: *mth, CPUThreshold: *cth, DeleteAllDrops: *allDrops})
 	if err != nil {
 		return err
 	}
@@ -65,7 +76,7 @@ func run() error {
 	cursor := 0
 	for t := 0; t < *duration; t++ {
 		now := int64(t)
-		sw.Tick(now)
+		rv.Tick(now) // idle expiry via the revalidator's dump machinery
 		// Attack traffic for this second.
 		for k := 0; k < *rate; k++ {
 			sw.Process(trace.Headers[cursor%trace.Len()], now)
@@ -88,5 +99,8 @@ func run() error {
 	st := guard.Stats()
 	fmt.Printf("guard: %d sweeps, %d triggered, %d megaflows deleted, %d CPU aborts\n",
 		st.Sweeps, st.Triggered, st.Deleted, st.CPUAborts)
+	rs := rv.Stats()
+	fmt.Printf("revalidator: %d sweeps, %d dumped, %d expired, %d suppressed\n",
+		rs.Sweeps, rs.Dumped, rs.Expired, rs.Suppressed)
 	return nil
 }

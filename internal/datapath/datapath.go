@@ -27,6 +27,7 @@ import (
 	"tse/internal/bitvec"
 	"tse/internal/flowtable"
 	"tse/internal/microflow"
+	"tse/internal/upcall"
 	"tse/internal/vswitch"
 )
 
@@ -52,19 +53,43 @@ type Config struct {
 	// simulator uses this: its per-second victim probes would otherwise
 	// always hit the EMC and never observe the megaflow scan cost.
 	DisableEMC bool
+	// Upcall enables the asynchronous slow path: a full-scan megaflow
+	// miss is submitted to the per-worker upcall queues (source = worker
+	// index) instead of classified inline in the worker. With
+	// Options.Handlers > 0 the pool starts that many handler goroutines
+	// at New — stop them with Close — and workers block on their bursts'
+	// tickets; with Handlers == 0 each admitted upcall is drained
+	// synchronously through the same machinery, the deterministic drive
+	// mode that is verdict-for-verdict equivalent to the inline pipeline
+	// when queues are unbounded and no quota is set. nil keeps the inline
+	// slow path.
+	Upcall *upcall.Options
 }
 
 // WorkerStats aggregates one worker's activity.
 type WorkerStats struct {
 	// Packets is the number of packets dispatched to the worker.
 	Packets uint64
-	// EMCHits, MegaflowHits, SlowPath partition Packets by deciding layer.
+	// EMCHits, MegaflowHits, SlowPath partition Packets by deciding
+	// layer. In async mode a packet resolved through an upcall counts as
+	// SlowPath; packets left pending by ProcessBatchDeferred or refused at
+	// upcall admission are in neither bucket (see Upcalls/UpcallDrops).
 	EMCHits, MegaflowHits, SlowPath uint64
-	// Dropped and Allowed partition Packets by verdict.
+	// Dropped and Allowed partition decided packets by verdict; a packet
+	// whose upcall was refused counts as Dropped (it never reached the
+	// slow path), and a deferred still-pending packet counts as neither.
 	Dropped, Allowed uint64
 	// Probes is the total number of megaflow mask probes the worker spent
 	// — the per-core share of the linear scan cost the attack inflates.
 	Probes uint64
+	// Upcalls counts misses submitted to the upcall subsystem (admitted
+	// or coalesced); UpcallDrops counts misses refused at admission.
+	Upcalls, UpcallDrops uint64
+	// EMC snapshots the worker's private exact-match cache counters
+	// (hits, misses, evictions); zero when the EMC is disabled. Filled by
+	// Stats/Totals so multicore runs report cache behaviour without
+	// poking each worker.
+	EMC microflow.Stats
 }
 
 // Pool is a set of PMD workers sharing one switch. A pool is driven by a
@@ -72,15 +97,18 @@ type WorkerStats struct {
 // other (the parallelism lives inside ProcessBatch, where the workers of
 // one dispatch run concurrently against the shared switch).
 type Pool struct {
-	sw      *vswitch.Switch
-	batch   int
-	workers []*worker
-	assign  []int // per-header worker index of the latest dispatch
+	sw       *vswitch.Switch
+	batch    int
+	workers  []*worker
+	assign   []int // per-header worker index of the latest dispatch
+	up       *upcall.Subsystem
+	handlers bool // async mode runs handler goroutines (vs drive mode)
 }
 
 // worker is one PMD: a private EMC plus reusable burst buffers. Only its
 // own goroutine (or the serial driver) touches it during a dispatch.
 type worker struct {
+	id    int
 	emc   *microflow.Cache
 	stats WorkerStats
 
@@ -93,6 +121,14 @@ type worker struct {
 	missHs   []bitvec.Vec
 	missIdx  []int
 	verdicts []vswitch.Verdict
+	tickets  []pendingTicket
+}
+
+// pendingTicket is one in-flight upcall of the current burst: the ticket
+// plus the miss's position in the burst's miss slice.
+type pendingTicket struct {
+	t   upcall.Ticket
+	idx int
 }
 
 // New builds a pool over the shared switch.
@@ -108,13 +144,36 @@ func New(cfg Config) (*Pool, error) {
 	}
 	p := &Pool{sw: cfg.Switch, batch: cfg.BatchSize}
 	for i := 0; i < cfg.Workers; i++ {
-		w := &worker{}
+		w := &worker{id: i}
 		if !cfg.DisableEMC {
 			w.emc = microflow.New(cfg.EMCCapacity)
 		}
 		p.workers = append(p.workers, w)
 	}
+	if cfg.Upcall != nil {
+		up, err := upcall.New(cfg.Switch, cfg.Workers, *cfg.Upcall)
+		if err != nil {
+			return nil, err
+		}
+		p.up = up
+		if cfg.Upcall.Handlers > 0 {
+			p.handlers = true
+			up.Start()
+		}
+	}
 	return p, nil
+}
+
+// Upcalls returns the pool's upcall subsystem, nil for inline-slow-path
+// pools.
+func (p *Pool) Upcalls() *upcall.Subsystem { return p.up }
+
+// Close stops the upcall handler goroutines after draining their backlog.
+// It is a no-op for inline or drive-mode pools.
+func (p *Pool) Close() {
+	if p.up != nil {
+		p.up.Stop()
+	}
 }
 
 // Workers returns the worker count.
@@ -150,7 +209,7 @@ func (p *Pool) ProcessBatch(hs []bitvec.Vec, now int64, out []vswitch.Verdict) [
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			w.run(p.sw, p.batch, now, out)
+			w.run(p, now, out, false)
 		}(w)
 	}
 	wg.Wait()
@@ -167,7 +226,29 @@ func (p *Pool) ProcessBatchSerial(hs []bitvec.Vec, now int64, out []vswitch.Verd
 		if len(w.shardHs) == 0 {
 			continue
 		}
-		w.run(p.sw, p.batch, now, out)
+		w.run(p, now, out, false)
+	}
+	return out
+}
+
+// ProcessBatchDeferred is the fire-and-forget dispatch of the asynchronous
+// slow path: like ProcessBatchSerial, but a miss's upcall is only
+// submitted, never waited for. The corresponding verdicts report
+// PathUpcallPending (queued; the decision arrives when a handler or a
+// later HandleN drains it) or PathUpcallDrop (refused at admission). The
+// dataplane simulator drives this mode and drains with the modelled
+// per-second handler budget via Upcalls().HandleN. On an inline pool it
+// falls back to ProcessBatchSerial.
+func (p *Pool) ProcessBatchDeferred(hs []bitvec.Vec, now int64, out []vswitch.Verdict) []vswitch.Verdict {
+	if p.up == nil {
+		return p.ProcessBatchSerial(hs, now, out)
+	}
+	out = p.shard(hs, out)
+	for _, w := range p.workers {
+		if len(w.shardHs) == 0 {
+			continue
+		}
+		w.run(p, now, out, true)
 	}
 	return out
 }
@@ -203,21 +284,27 @@ func (p *Pool) shard(hs []bitvec.Vec, out []vswitch.Verdict) []vswitch.Verdict {
 // copy it to keep it.
 func (p *Pool) Assignments() []int { return p.assign }
 
-// run drains the worker's shard in bursts.
-func (w *worker) run(sw *vswitch.Switch, batch int, now int64, out []vswitch.Verdict) {
+// run drains the worker's shard in bursts. deferred selects the
+// fire-and-forget upcall mode (see ProcessBatchDeferred).
+func (w *worker) run(p *Pool, now int64, out []vswitch.Verdict, deferred bool) {
+	batch := p.batch
 	for start := 0; start < len(w.shardHs); start += batch {
 		end := start + batch
 		if end > len(w.shardHs) {
 			end = len(w.shardHs)
 		}
-		w.burst(sw, w.shardHs[start:end], w.shardIdx[start:end], now, out)
+		w.burst(p, w.shardHs[start:end], w.shardIdx[start:end], now, out, deferred)
 	}
 }
 
 // burst processes one receive burst: EMC prepass, then the shared switch's
 // batched path for the misses, then EMC priming — the emc_processing /
-// fast_path_processing split of OVS's dpif-netdev.
-func (w *worker) burst(sw *vswitch.Switch, hs []bitvec.Vec, idx []int, now int64, out []vswitch.Verdict) {
+// fast_path_processing split of OVS's dpif-netdev. With an upcall
+// subsystem configured, full-scan misses become upcalls instead of inline
+// slow-path calls: drive mode (no handler goroutines) drains each one
+// synchronously, handler mode submits and waits for the burst's tickets,
+// and deferred mode submits without waiting.
+func (w *worker) burst(p *Pool, hs []bitvec.Vec, idx []int, now int64, out []vswitch.Verdict, deferred bool) {
 	w.stats.Packets += uint64(len(hs))
 	missHs, missIdx := hs, idx
 	if w.emc != nil {
@@ -243,7 +330,17 @@ func (w *worker) burst(sw *vswitch.Switch, hs []bitvec.Vec, idx []int, now int64
 		return
 	}
 	w.verdicts = growVerdicts(w.verdicts, len(missHs))
-	sw.ProcessBatch(missHs, now, w.verdicts)
+	if p.up == nil {
+		p.sw.ProcessBatch(missHs, now, w.verdicts)
+	} else {
+		w.tickets = w.tickets[:0]
+		p.sw.ProcessBatchFunc(missHs, now, w.verdicts, func(i, probes int) vswitch.Verdict {
+			return w.miss(p, missHs[i], now, i, probes, deferred)
+		})
+		for _, pt := range w.tickets {
+			w.verdicts[pt.idx] = pt.t.Wait()
+		}
+	}
 	for i, v := range w.verdicts[:len(missHs)] {
 		out[missIdx[i]] = v
 		switch v.Path {
@@ -251,6 +348,16 @@ func (w *worker) burst(sw *vswitch.Switch, hs []bitvec.Vec, idx []int, now int64
 			w.stats.MegaflowHits++
 		case vswitch.PathSlow:
 			w.stats.SlowPath++
+		case vswitch.PathUpcallPending:
+			// Decision deferred: neither verdict partition counts it, and
+			// there is nothing to prime the EMC with.
+			w.stats.Probes += uint64(v.Probes)
+			continue
+		case vswitch.PathUpcallDrop:
+			// Refused at admission: the packet is dropped on the floor.
+			w.stats.Probes += uint64(v.Probes)
+			w.tally(v)
+			continue
 		}
 		w.stats.Probes += uint64(v.Probes)
 		w.tally(v)
@@ -262,6 +369,33 @@ func (w *worker) burst(sw *vswitch.Switch, hs []bitvec.Vec, idx []int, now int64
 	}
 }
 
+// miss turns one full-scan megaflow miss into an upcall, in the mode the
+// dispatch selected. The verdicts it returns for admitted upcalls in
+// handler/deferred mode are placeholders: handler mode overwrites them
+// when the burst's tickets resolve, deferred mode leaves them pending.
+func (w *worker) miss(p *Pool, h bitvec.Vec, now int64, i, probes int, deferred bool) vswitch.Verdict {
+	if !deferred && !p.handlers {
+		// Drive mode: submit and drain synchronously.
+		v, o := p.up.SubmitSync(w.id, h, now)
+		if o.Dropped() {
+			w.stats.UpcallDrops++
+			return vswitch.Verdict{Action: flowtable.Drop, Path: vswitch.PathUpcallDrop, Probes: probes}
+		}
+		w.stats.Upcalls++
+		return v
+	}
+	t, o := p.up.Submit(w.id, h, now)
+	if o.Dropped() {
+		w.stats.UpcallDrops++
+		return vswitch.Verdict{Action: flowtable.Drop, Path: vswitch.PathUpcallDrop, Probes: probes}
+	}
+	w.stats.Upcalls++
+	if !deferred {
+		w.tickets = append(w.tickets, pendingTicket{t: t, idx: i})
+	}
+	return vswitch.Verdict{Path: vswitch.PathUpcallPending, Probes: probes}
+}
+
 func (w *worker) tally(v vswitch.Verdict) {
 	if v.Action == flowtable.Drop {
 		w.stats.Dropped++
@@ -270,28 +404,46 @@ func (w *worker) tally(v vswitch.Verdict) {
 	}
 }
 
-// Stats returns a snapshot of each worker's counters, indexed by worker.
+// Stats returns a snapshot of each worker's counters, indexed by worker,
+// with each worker's private EMC cache counters folded in.
 func (p *Pool) Stats() []WorkerStats {
 	out := make([]WorkerStats, len(p.workers))
 	for i, w := range p.workers {
-		out[i] = w.stats
+		out[i] = w.snapshot()
 	}
 	return out
 }
 
-// Totals sums the per-worker stats.
+// Totals sums the per-worker stats, EMC cache counters included, so
+// multicore runs report aggregate cache hits/misses/evictions without
+// poking each worker.
 func (p *Pool) Totals() WorkerStats {
 	var t WorkerStats
 	for _, w := range p.workers {
-		t.Packets += w.stats.Packets
-		t.EMCHits += w.stats.EMCHits
-		t.MegaflowHits += w.stats.MegaflowHits
-		t.SlowPath += w.stats.SlowPath
-		t.Dropped += w.stats.Dropped
-		t.Allowed += w.stats.Allowed
-		t.Probes += w.stats.Probes
+		s := w.snapshot()
+		t.Packets += s.Packets
+		t.EMCHits += s.EMCHits
+		t.MegaflowHits += s.MegaflowHits
+		t.SlowPath += s.SlowPath
+		t.Dropped += s.Dropped
+		t.Allowed += s.Allowed
+		t.Probes += s.Probes
+		t.Upcalls += s.Upcalls
+		t.UpcallDrops += s.UpcallDrops
+		t.EMC.Hits += s.EMC.Hits
+		t.EMC.Misses += s.EMC.Misses
+		t.EMC.Evictions += s.EMC.Evictions
 	}
 	return t
+}
+
+// snapshot copies the worker's counters with the live EMC stats attached.
+func (w *worker) snapshot() WorkerStats {
+	s := w.stats
+	if w.emc != nil {
+		s.EMC = w.emc.Stats()
+	}
+	return s
 }
 
 // FlushEMC empties every worker's exact-match cache. Callers swapping the

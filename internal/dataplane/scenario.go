@@ -83,6 +83,12 @@ type Scenario struct {
 	// carries per-worker series. The megaflow cache stays shared, so the
 	// attack's mask count taxes every core's lookups.
 	Workers int
+	// Upcall, when non-nil, switches the run to the asynchronous slow
+	// path: misses enqueue into bounded per-worker upcall queues drained
+	// by a modelled handler service rate, with a revalidator loop
+	// replacing inline idle expiry. See upcall.go; Workers <= 1 runs one
+	// worker over the datapath pool.
+	Upcall *UpcallParams
 }
 
 // Sample is one per-second observation.
@@ -109,6 +115,9 @@ type Sample struct {
 	// are nil for single-core runs.
 	WorkerAttackCost []float64
 	WorkerVictimGbps []float64
+	// Upcall carries the per-second queue/handler/revalidator series of
+	// asynchronous-slow-path runs; nil otherwise.
+	Upcall *UpcallSample
 }
 
 // Run executes the scenario and returns one sample per second.
@@ -123,6 +132,9 @@ func (sc *Scenario) Run() ([]Sample, error) {
 	budget := model.Budget()
 	if sc.BudgetOverride > 0 {
 		budget = sc.BudgetOverride
+	}
+	if sc.Upcall != nil {
+		return sc.runAsync(budget)
 	}
 	if sc.Workers > 1 {
 		return sc.runMulticore(budget)
@@ -257,43 +269,8 @@ func (sc *Scenario) runMulticore(perCore float64) ([]Sample, error) {
 			offered[i] = v.OfferedGbps * 1e9 / 8 / PacketBytes // pps
 		}
 
-		// Per-core budget waterfill over each worker's victims, then one
-		// global pass for the shared line rate.
-		pps := make([]float64, len(sc.Victims))
-		for w := 0; w < nw; w++ {
-			var idxs []int
-			for i := range sc.Victims {
-				if workerOf[i] == w && offered[i] > 0 {
-					idxs = append(idxs, i)
-				}
-			}
-			if len(idxs) == 0 {
-				continue
-			}
-			subOff := make([]float64, len(idxs))
-			subCost := make([]float64, len(idxs))
-			for j, i := range idxs {
-				subOff[j], subCost[j] = offered[i], costs[i]
-			}
-			remaining := perCore - workerAttack[w]
-			if remaining < 0 {
-				remaining = 0
-			}
-			alloc := waterfill(subOff, subCost, remaining, math.Inf(1))
-			for j, i := range idxs {
-				pps[i] = alloc[j]
-			}
-		}
-		total := 0.0
-		for _, x := range pps {
-			total += x
-		}
-		if line := sc.NIC.LinePps(); total > line && total > 0 {
-			scale := line / total
-			for i := range pps {
-				pps[i] *= scale
-			}
-		}
+		pps := waterfillWorkers(nw, workerOf, offered, costs, workerAttack,
+			perCore, sc.NIC.LinePps())
 
 		sample := Sample{
 			Sec:              t,
@@ -376,6 +353,11 @@ func verdictCost(v vswitch.Verdict, nic NICProfile) float64 {
 		return nic.BaseCost + nic.ProbeCost*float64(v.Probes)
 	case vswitch.PathSlow:
 		return nic.BaseCost + nic.ProbeCost*float64(v.Probes) + nic.SlowPathCost
+	case vswitch.PathUpcallPending, vswitch.PathUpcallDrop:
+		// The datapath paid the full-scan miss; the slow-path
+		// classification either runs later on the handler budget
+		// (pending) or never (drop), so neither is charged to the core.
+		return nic.BaseCost + nic.ProbeCost*float64(v.Probes)
 	}
 	return 0
 }
@@ -388,6 +370,48 @@ func verdictCost(v vswitch.Verdict, nic NICProfile) float64 {
 func (sc *Scenario) swapACL(tbl *flowtable.Table) error {
 	_, err := sc.Switch.ReplaceTable(tbl)
 	return err
+}
+
+// waterfillWorkers runs the per-core budget waterfill over each worker's
+// victims, then one global pass for the shared line rate — the multi-core
+// allocation step shared by the sync and async runners.
+func waterfillWorkers(nw int, workerOf []int, offered, costs, workerAttack []float64, perCore, linePps float64) []float64 {
+	pps := make([]float64, len(offered))
+	for w := 0; w < nw; w++ {
+		var idxs []int
+		for i := range offered {
+			if workerOf[i] == w && offered[i] > 0 {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) == 0 {
+			continue
+		}
+		subOff := make([]float64, len(idxs))
+		subCost := make([]float64, len(idxs))
+		for j, i := range idxs {
+			subOff[j], subCost[j] = offered[i], costs[i]
+		}
+		remaining := perCore - workerAttack[w]
+		if remaining < 0 {
+			remaining = 0
+		}
+		alloc := waterfill(subOff, subCost, remaining, math.Inf(1))
+		for j, i := range idxs {
+			pps[i] = alloc[j]
+		}
+	}
+	total := 0.0
+	for _, x := range pps {
+		total += x
+	}
+	if total > linePps && total > 0 {
+		scale := linePps / total
+		for i := range pps {
+			pps[i] *= scale
+		}
+	}
+	return pps
 }
 
 // waterfill allocates CPU budget and line rate across victims: each victim

@@ -1,0 +1,213 @@
+package dataplane
+
+import (
+	"math"
+
+	"tse/internal/bitvec"
+	"tse/internal/datapath"
+	"tse/internal/upcall"
+	"tse/internal/vswitch"
+)
+
+// This file implements the asynchronous-slow-path scenario dimension: the
+// time-stepped simulator driven over the upcall subsystem, regenerating
+// the slow-path saturation regime the paper's attack creates (every attack
+// packet is a flow miss; the queue bounds, fairness quotas and handler
+// service rate decide who gets slow-path service and whose megaflows get
+// installed).
+
+// UpcallParams switches a scenario to the asynchronous slow path.
+type UpcallParams struct {
+	// QueueCap bounds each worker's upcall queue (0 = unbounded).
+	QueueCap int
+	// QuotaPerWorker is the per-source per-second admission quota, the
+	// OVS-style upcall rate limit (0 = off).
+	QuotaPerWorker int
+	// HandledPerSec is the handler service rate: how many upcalls the
+	// slow-path daemon classifies per virtual second (<= 0 = unlimited —
+	// the whole backlog drains every second). This is the saturation
+	// knob: the paper's testbed saturates ovs-vswitchd towards 50k
+	// upcalls/s (Fig. 9c).
+	HandledPerSec int
+	// DisableDedup turns off flow-miss deduplication (ablation).
+	DisableDedup bool
+	// RevalidateSec is the revalidator cadence in virtual seconds; <= 0
+	// selects 1. The revalidator replaces the inline Switch.Tick idle
+	// expiry and additionally re-checks entries against the current flow
+	// table, so mid-run ACL injections take effect at this cadence.
+	RevalidateSec int64
+}
+
+// UpcallSample is the per-second queue/handler/revalidator series of an
+// asynchronous run.
+type UpcallSample struct {
+	// Enqueued, Deduped, QueueDrops and QuotaDrops are this second's
+	// admission outcomes; Handled is the number of upcalls the handler
+	// budget served and Installed the megaflows that produced.
+	Enqueued, Deduped, QueueDrops, QuotaDrops, Handled, Installed int
+	// Backlog is the queue depth left at the end of the second.
+	Backlog int
+	// Expired and Invalidated are the revalidator's deletions this second.
+	Expired, Invalidated int
+	// HandlerCost is the CPU this second's handler work consumed, in the
+	// same units as Sample.AttackCost. Handler threads are separate from
+	// the PMD cores (as ovs-vswitchd is), so it is reported, not
+	// subtracted from the per-core budgets.
+	HandlerCost float64
+}
+
+// runAsync executes the scenario over a PMD-style pool whose misses go
+// through the upcall subsystem in fire-and-forget mode, drained once per
+// virtual second by the modelled handler service rate. Per-worker EMCs are
+// disabled for the same observability reason as runMulticore.
+func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
+	up := sc.Upcall
+	nw := sc.Workers
+	if nw < 1 {
+		nw = 1
+	}
+	pool, err := datapath.New(datapath.Config{
+		Switch:  sc.Switch,
+		Workers: nw,
+		// Handlers stays 0: the simulator owns the drain (HandleN below)
+		// so runs are deterministic.
+		Upcall: &upcall.Options{
+			QueueCap:       up.QueueCap,
+			QuotaPerSource: up.QuotaPerWorker,
+			DisableDedup:   up.DisableDedup,
+		},
+		DisableEMC: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rv, err := upcall.NewRevalidator(upcall.RevalidatorConfig{
+		Switch: sc.Switch, IntervalSec: up.RevalidateSec})
+	if err != nil {
+		return nil, err
+	}
+	sub := pool.Upcalls()
+
+	cursor := make([]int, len(sc.Phases))
+	samples := make([]Sample, 0, sc.DurationSec)
+	var batch []bitvec.Vec
+	var verdicts []vswitch.Verdict
+	var vIdx []int
+	prevStats := sub.Stats()
+	prevInstalls := sc.Switch.Counters().Installs
+	for t := 0; t < sc.DurationSec; t++ {
+		now := int64(t)
+		// The revalidator owns megaflow lifecycle: idle expiry plus
+		// dump-and-check against the current table (no Switch.Tick here).
+		rvRes := rv.Tick(now)
+
+		workerAttack := make([]float64, nw)
+		costs := make([]float64, len(sc.Victims))
+		offered := make([]float64, len(sc.Victims))
+		workerOf := make([]int, len(sc.Victims))
+
+		// Victims submit first: within one virtual second arrival order
+		// is arbitrary, and a steady one-probe-per-second flow plausibly
+		// lands ahead of parts of the burst — this also keeps the
+		// per-source quota from starving a victim behind the same
+		// second's flood, which is the quota's per-port intent in OVS.
+		batch, vIdx = batch[:0], vIdx[:0]
+		for i, v := range sc.Victims {
+			workerOf[i] = pool.WorkerFor(v.Header)
+			if t < v.StartSec {
+				continue
+			}
+			batch = append(batch, v.Header)
+			vIdx = append(vIdx, i)
+			offered[i] = v.OfferedGbps * 1e9 / 8 / PacketBytes // pps
+		}
+		verdicts = pool.ProcessBatchDeferred(batch, now, verdicts)
+		for k, i := range vIdx {
+			costs[i] = sc.victimCost(sc.Victims[i], verdicts[k])
+		}
+
+		// Attack activity, sharded across the workers.
+		attackPps := 0
+		for i := range sc.Phases {
+			ph := &sc.Phases[i]
+			if t < ph.StartSec || t >= ph.StopSec {
+				continue
+			}
+			if t == ph.StartSec && ph.InjectACL != nil {
+				// Asynchronous deployment: the table swap is applied
+				// without an inline sweep; the revalidator's next pass
+				// deletes stale megaflows (dump-and-check).
+				if err := sc.Switch.SwapTable(ph.InjectACL); err != nil {
+					return nil, err
+				}
+				pool.FlushEMC()
+			}
+			attackPps += ph.RatePps
+			tr := ph.Trace
+			if tr == nil || tr.Len() == 0 {
+				continue
+			}
+			batch = batch[:0]
+			for k := 0; k < ph.RatePps; k++ {
+				batch = append(batch, tr.Headers[cursor[i]%tr.Len()])
+				cursor[i]++
+			}
+			verdicts = pool.ProcessBatchDeferred(batch, now, verdicts)
+			assign := pool.Assignments()
+			for k, v := range verdicts[:len(batch)] {
+				workerAttack[assign[k]] += verdictCost(v, sc.NIC)
+			}
+		}
+
+		// Handlers drain on their own service budget, round-robin across
+		// the worker queues; leftovers stay queued into the next second.
+		budget := up.HandledPerSec
+		if budget <= 0 {
+			budget = math.MaxInt
+		}
+		handled := sub.HandleN(budget)
+
+		st := sub.Stats()
+		installs := sc.Switch.Counters().Installs
+		usample := &UpcallSample{
+			Enqueued:    int(st.Enqueued - prevStats.Enqueued),
+			Deduped:     int(st.Deduped - prevStats.Deduped),
+			QueueDrops:  int(st.QueueDrops - prevStats.QueueDrops),
+			QuotaDrops:  int(st.QuotaDrops - prevStats.QuotaDrops),
+			Handled:     handled,
+			Installed:   int(installs - prevInstalls),
+			Backlog:     st.Backlog,
+			Expired:     rvRes.Expired,
+			Invalidated: rvRes.Invalidated,
+			HandlerCost: float64(handled) * sc.NIC.SlowPathCost,
+		}
+		prevStats, prevInstalls = st, installs
+
+		pps := waterfillWorkers(nw, workerOf, offered, costs, workerAttack,
+			perCore, sc.NIC.LinePps())
+
+		sample := Sample{
+			Sec:              t,
+			VictimGbps:       make([]float64, len(sc.Victims)),
+			AttackPps:        attackPps,
+			Masks:            sc.Switch.MFC().MaskCount(),
+			Entries:          sc.Switch.MFC().EntryCount(),
+			Budget:           perCore * float64(nw),
+			WorkerAttackCost: workerAttack,
+			WorkerVictimGbps: make([]float64, nw),
+			Upcall:           usample,
+		}
+		for _, c := range workerAttack {
+			sample.AttackCost += c
+		}
+		for i, v := range sc.Victims {
+			g := pps[i] * PacketBytes * 8 / 1e9
+			sample.VictimGbps[i] = g
+			sample.TotalVictimGbps += g
+			sample.WorkerVictimGbps[workerOf[i]] += g
+			v.trackEstablishment(t, g)
+		}
+		samples = append(samples, sample)
+	}
+	return samples, nil
+}

@@ -1,0 +1,165 @@
+package dataplane
+
+import (
+	"testing"
+
+	"tse/internal/core"
+	"tse/internal/flowtable"
+	"tse/internal/vswitch"
+)
+
+// asyncScenario builds a scaled-down saturation scenario (SipDp, ~257
+// attainable masks) so the test suite stays fast; the full SipSpDp preset
+// runs in the `saturation` experiment and the bench JSON suite.
+func asyncScenario(t *testing.T, up *UpcallParams) *Scenario {
+	t.Helper()
+	tbl := flowtable.UseCaseACL(flowtable.SipDp, flowtable.ACLParams{})
+	sw, err := vswitch.New(vswitch.Config{Table: tbl, DisableMicroflow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := core.CoLocated(tbl, core.CoLocatedOptions{Noise: true, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := &Victim{
+		Name:        "Victim",
+		Header:      victimHeader(0x0a000070, 45000, 80),
+		OfferedGbps: 5,
+	}
+	return &Scenario{
+		Name:        "async-test",
+		Switch:      sw,
+		NIC:         TCPGroOff,
+		Victims:     []*Victim{victim},
+		Phases:      []AttackPhase{{Trace: trace, RatePps: 300, StartSec: 2, StopSec: 18}},
+		DurationSec: 34, // leaves the 10 s idle horizon room to drain post-attack
+		Workers:     2,
+		Upcall:      up,
+	}
+}
+
+// sumUpcall folds the per-second series into totals.
+func sumUpcall(samples []Sample) (tot UpcallSample, peakMasks, peakBacklog int) {
+	for _, s := range samples {
+		if s.Masks > peakMasks {
+			peakMasks = s.Masks
+		}
+		u := s.Upcall
+		if u == nil {
+			continue
+		}
+		if u.Backlog > peakBacklog {
+			peakBacklog = u.Backlog
+		}
+		tot.Enqueued += u.Enqueued
+		tot.Deduped += u.Deduped
+		tot.QueueDrops += u.QueueDrops
+		tot.QuotaDrops += u.QuotaDrops
+		tot.Handled += u.Handled
+		tot.Installed += u.Installed
+		tot.Expired += u.Expired
+		tot.Invalidated += u.Invalidated
+	}
+	return tot, peakMasks, peakBacklog
+}
+
+// TestAsyncScenarioBoundsMaskGrowth: under the same attack, bounded
+// queues/quotas/handler budget cap MFC mask growth well below the
+// unbounded async run, with the refusals visible in the series.
+func TestAsyncScenarioBoundsMaskGrowth(t *testing.T) {
+	open := asyncScenario(t, &UpcallParams{RevalidateSec: 1})
+	// Quota admits 16/s across the two workers while the handlers serve 8:
+	// the backlog grows until the queue cap, so every bound is exercised.
+	bounded := asyncScenario(t, &UpcallParams{
+		QueueCap: 16, QuotaPerWorker: 8, HandledPerSec: 8, RevalidateSec: 1})
+
+	so, err := open.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := bounded.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range [][]Sample{so, sb} {
+		for _, smp := range s {
+			if smp.Upcall == nil {
+				t.Fatal("async sample missing the upcall series")
+			}
+		}
+	}
+	to, po, _ := sumUpcall(so)
+	tb, pb, backlog := sumUpcall(sb)
+
+	if to.QueueDrops+to.QuotaDrops != 0 {
+		t.Errorf("unbounded run dropped %d upcalls", to.QueueDrops+to.QuotaDrops)
+	}
+	if to.Handled != to.Enqueued {
+		t.Errorf("unbounded run left %d upcalls unhandled", to.Enqueued-to.Handled)
+	}
+	if po < 200 {
+		t.Errorf("unbounded peak masks %d; attack did not inflate the cache", po)
+	}
+	if tb.QuotaDrops == 0 {
+		t.Error("bounded run recorded no quota drops")
+	}
+	if pb >= po/3 {
+		t.Errorf("bounded peak masks %d vs unbounded %d: bound not effective", pb, po)
+	}
+	if backlog == 0 {
+		t.Error("bounded run never built a backlog despite the handler budget")
+	}
+	if tb.Installed > tb.Handled {
+		t.Errorf("installed %d > handled %d", tb.Installed, tb.Handled)
+	}
+	// The handler budget is a hard per-second ceiling.
+	for _, s := range sb {
+		if s.Upcall.Handled > 8 {
+			t.Fatalf("second %d handled %d upcalls, budget is 8", s.Sec, s.Upcall.Handled)
+		}
+	}
+	// Victims recover once the revalidator's idle expiry drains the attack
+	// masks (attack stops at 18; the 10 s horizon clears by ~29).
+	if g := avgVictimGbpsT(sb, 31, 34); g < avgVictimGbpsT(sb, 10, 18) {
+		t.Errorf("bounded victim did not recover: under=%.2f post=%.2f",
+			avgVictimGbpsT(sb, 10, 18), g)
+	}
+}
+
+// TestAsyncScenarioRevalidatesInjectedACL: a mid-run SwapTable (the
+// Fig. 8c injection) takes effect through the revalidator's dump-and-check
+// rather than synchronously.
+func TestAsyncScenarioRevalidatesInjectedACL(t *testing.T) {
+	sc := asyncScenario(t, &UpcallParams{RevalidateSec: 1})
+	malicious := flowtable.UseCaseACL(flowtable.SipSpDp, flowtable.ACLParams{})
+	sc.Phases = append(sc.Phases, AttackPhase{
+		Trace: sc.Phases[0].Trace, RatePps: 0, StartSec: 10, StopSec: 11,
+		InjectACL: malicious})
+	samples, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	invalidated := 0
+	for _, s := range samples {
+		invalidated += s.Upcall.Invalidated
+	}
+	if invalidated == 0 {
+		t.Error("revalidator never invalidated megaflows after the ACL injection")
+	}
+}
+
+// avgVictimGbpsT averages TotalVictimGbps over [from, to) seconds.
+func avgVictimGbpsT(samples []Sample, from, to int) float64 {
+	sum, n := 0.0, 0
+	for _, s := range samples {
+		if s.Sec >= from && s.Sec < to {
+			sum += s.TotalVictimGbps
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -7,18 +7,22 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"tse/internal/bitvec"
 	"tse/internal/core"
+	"tse/internal/dataplane"
 	"tse/internal/flowtable"
 	"tse/internal/microflow"
 	"tse/internal/tss"
+	"tse/internal/upcall"
 	"tse/internal/vswitch"
 )
 
 // BenchSchema versions the JSON layout so downstream tooling can detect
-// format changes.
-const BenchSchema = "tse-bench/v1"
+// format changes. v2 adds the upcall micro-benchmarks and the scenarios
+// section (slow-path saturation summaries).
+const BenchSchema = "tse-bench/v2"
 
 // BenchResult is one measured micro-benchmark in the JSON report.
 type BenchResult struct {
@@ -35,14 +39,44 @@ type BenchResult struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
+// ScenarioResult summarises one dataplane scenario run: the
+// upcall-saturation suite records the slow-path overload regime (peak
+// masks, drops, victim throughput) so the BENCH_*.json trajectory captures
+// behaviour, not just hot-path timings.
+type ScenarioResult struct {
+	// Name identifies the scenario configuration, stable across PRs.
+	Name string `json:"name"`
+	// Workers is the PMD worker count of the run.
+	Workers int `json:"workers"`
+	// PeakMasks is the MFC mask high-water mark (Observation 1's |M|);
+	// PeakBacklog the upcall-queue high-water mark.
+	PeakMasks   int `json:"peak_masks"`
+	PeakBacklog int `json:"peak_backlog"`
+	// Enqueued..Handled total the upcall admission outcomes over the run.
+	Enqueued   int `json:"enqueued"`
+	Deduped    int `json:"deduped"`
+	QueueDrops int `json:"queue_drops"`
+	QuotaDrops int `json:"quota_drops"`
+	Handled    int `json:"handled"`
+	// VictimPreGbps/UnderGbps/PostGbps average total victim throughput
+	// before, during, and after the attack window.
+	VictimPreGbps   float64 `json:"victim_pre_gbps"`
+	VictimUnderGbps float64 `json:"victim_under_gbps"`
+	VictimPostGbps  float64 `json:"victim_post_gbps"`
+	// WallMs is the host wall-clock time of the run (informational; the
+	// scenario itself is virtual-time deterministic).
+	WallMs float64 `json:"wall_ms"`
+}
+
 // BenchReport is the machine-readable perf snapshot tsebench -json emits.
 type BenchReport struct {
-	Schema    string        `json:"schema"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	NumCPU    int           `json:"num_cpu"`
-	Results   []BenchResult `json:"results"`
+	Schema    string           `json:"schema"`
+	GoVersion string           `json:"go_version"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	NumCPU    int              `json:"num_cpu"`
+	Results   []BenchResult    `json:"results"`
+	Scenarios []ScenarioResult `json:"scenarios,omitempty"`
 }
 
 // populateMasks installs n entries under n distinct masks (prefix
@@ -185,6 +219,78 @@ func BenchJSON() (*BenchReport, error) {
 			emc.Lookup(miss)
 		}
 	})
+
+	// Upcall subsystem hot paths: the pending-table dedup hit (the cost a
+	// same-flow miss burst pays per packet after the first) and the full
+	// submit→queue→handle round trip. The round trip runs against a
+	// suppressed megaflow (monitor-deleted with the quirk active), the one
+	// slow-path shape that is stationary under repetition: classification
+	// happens, no install mutates the cache.
+	{
+		tbl := flowtable.UseCaseACL(flowtable.Dp, flowtable.ACLParams{})
+		sw, err := vswitch.New(vswitch.Config{Table: tbl, DisableMicroflow: true})
+		if err != nil {
+			return nil, err
+		}
+		sub, err := upcall.New(sw, 1, upcall.Options{})
+		if err != nil {
+			return nil, err
+		}
+		h := benchVictimKey()
+		sw.Process(h, 0)
+		sw.DeleteMegaflows(func(*tss.Entry) bool { return true })
+		add("upcall_roundtrip_suppressed", nil, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sub.SubmitSync(0, h, 0)
+			}
+		})
+		// Park one upcall as pending so every Submit coalesces onto it.
+		sub2, err := upcall.New(sw, 1, upcall.Options{})
+		if err != nil {
+			return nil, err
+		}
+		sub2.Submit(0, h, 0)
+		add("upcall_submit_dedup", nil, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sub2.Submit(0, h, 0)
+			}
+		})
+	}
+
+	// The upcall-saturation suite: the slow-path overload regime of the
+	// paper (every attack packet a flow miss), unbounded vs bounded. The
+	// series is folded by the same summarise the `saturation` experiment
+	// prints, so the JSON trajectory and the table cannot diverge.
+	for _, bounded := range []bool{false, true} {
+		sc, err := dataplane.SaturationScenario(2, bounded)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		samples, err := sc.Run()
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		s := summarise(samples)
+		rep.Scenarios = append(rep.Scenarios, ScenarioResult{
+			Name:            sc.Name,
+			Workers:         sc.Workers,
+			PeakMasks:       s.PeakMasks,
+			PeakBacklog:     s.PeakBacklog,
+			Enqueued:        s.Enqueued,
+			Deduped:         s.Deduped,
+			QueueDrops:      s.QueueDrops,
+			QuotaDrops:      s.QuotaDrops,
+			Handled:         s.Handled,
+			VictimPreGbps:   s.PreGbps,
+			VictimUnderGbps: s.UnderGbps,
+			VictimPostGbps:  s.PostGbps,
+			WallMs:          float64(wall.Nanoseconds()) / 1e6,
+		})
+	}
 	return rep, nil
 }
 
@@ -206,6 +312,10 @@ func WriteBenchJSON(w io.Writer, path string) error {
 	}
 	for _, r := range rep.Results {
 		fmt.Fprintf(w, "%-28s %12.1f ns/op %6d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+	for _, s := range rep.Scenarios {
+		fmt.Fprintf(w, "%-36s peak_masks=%-5d drops=%-6d under=%.2fG (%.0f ms)\n",
+			s.Name, s.PeakMasks, s.QueueDrops+s.QuotaDrops, s.VictimUnderGbps, s.WallMs)
 	}
 	fmt.Fprintf(w, "wrote %s\n", path)
 	return nil

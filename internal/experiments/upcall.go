@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tse/internal/dataplane"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "saturation",
+		Title: "Slow-path saturation — SipSpDp upcall flood vs bounded queues/quotas",
+		Run:   func(w io.Writer) error { return RunSaturation(w, 2) },
+	})
+}
+
+// satSummary condenses one saturation run into the table row the
+// experiment prints (and tsebench -json exports).
+type satSummary struct {
+	PeakMasks, PeakBacklog                             int
+	Enqueued, Deduped, QueueDrops, QuotaDrops, Handled int
+	PreGbps, UnderGbps, PostGbps                       float64
+}
+
+// summarise folds a sample series into a satSummary. The attack window of
+// SaturationScenario is [5, 35) over 45 seconds.
+func summarise(samples []dataplane.Sample) satSummary {
+	var s satSummary
+	for _, smp := range samples {
+		if smp.Masks > s.PeakMasks {
+			s.PeakMasks = smp.Masks
+		}
+		if u := smp.Upcall; u != nil {
+			if u.Backlog > s.PeakBacklog {
+				s.PeakBacklog = u.Backlog
+			}
+			s.Enqueued += u.Enqueued
+			s.Deduped += u.Deduped
+			s.QueueDrops += u.QueueDrops
+			s.QuotaDrops += u.QuotaDrops
+			s.Handled += u.Handled
+		}
+	}
+	s.PreGbps = avgVictimGbps(samples, 0, 5)
+	s.UnderGbps = avgVictimGbps(samples, 15, 35)
+	s.PostGbps = avgVictimGbps(samples, 40, 45)
+	return s
+}
+
+// runSaturationConfig builds and runs one saturation configuration.
+// mode "inline" strips the upcall dimension (the synchronous slow path on
+// the PMD cores); "unbounded" and "bounded" run the async subsystem.
+func runSaturationConfig(workers int, mode string) (satSummary, error) {
+	sc, err := dataplane.SaturationScenario(workers, mode == "bounded")
+	if err != nil {
+		return satSummary{}, err
+	}
+	if mode == "inline" {
+		sc.Upcall = nil
+	}
+	samples, err := sc.Run()
+	if err != nil {
+		return satSummary{}, err
+	}
+	return summarise(samples), nil
+}
+
+// RunSaturation tabulates the saturation scenario under three slow-path
+// configurations: the synchronous inline pipeline, the asynchronous
+// subsystem with no bounds (the paper's overload regime — handlers install
+// every attack megaflow and the mask count runs to the SipSpDp maximum of
+// ~8.2k), and the bounded configuration in which per-source quotas, queue
+// caps and a finite handler service rate refuse most of the flood and cap
+// MFC mask growth.
+func RunSaturation(w io.Writer, workers int) error {
+	fmt.Fprintf(w, "%-16s %10s %8s %9s %8s %8s %11s %8s %10s %10s %10s\n",
+		"slow path", "peak masks", "backlog", "enqueued", "deduped",
+		"q-drops", "quota-drops", "handled", "pre-attack", "under-atk", "post")
+	for _, mode := range []string{"inline", "unbounded", "bounded"} {
+		s, err := runSaturationConfig(workers, mode)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-16s %10d %8d %9d %8d %8d %11d %8d %9.2fG %9.2fG %9.2fG\n",
+			mode, s.PeakMasks, s.PeakBacklog, s.Enqueued, s.Deduped,
+			s.QueueDrops, s.QuotaDrops, s.Handled,
+			s.PreGbps, s.UnderGbps, s.PostGbps)
+	}
+	fmt.Fprintln(w, "\nEvery attack packet is a flow miss, so the whole flood lands on the")
+	fmt.Fprintln(w, "upcall path. Unbounded, the handlers install each spawned megaflow and")
+	fmt.Fprintln(w, "the mask count reaches the SipSpDp maximum (~8.2k, §5.2): victim")
+	fmt.Fprintln(w, "lookups pay the full linear scan and throughput collapses. Bounded,")
+	fmt.Fprintln(w, "the per-source quota refuses the bulk of the flood, the backlog hits")
+	fmt.Fprintln(w, "the queue cap, and installs are limited to the handler service rate —")
+	fmt.Fprintln(w, "MFC mask growth is capped an order of magnitude below the unbounded")
+	fmt.Fprintln(w, "run while the round-robin drain keeps the victims' own upcalls served.")
+	return nil
+}

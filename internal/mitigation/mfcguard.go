@@ -27,10 +27,21 @@ import (
 // according to the MFC eviction policy").
 const DefaultIntervalSec = 10
 
+// Sweeper is the megaflow-deletion backend the guard sweeps through. Both
+// *vswitch.Switch (direct monitor deletions) and *upcall.Revalidator
+// (deletions routed through the revalidator's dump machinery, so guard and
+// revalidator share the one megaflow-lifecycle path) satisfy it.
+type Sweeper interface {
+	DeleteMegaflows(pred func(*tss.Entry) bool) int
+}
+
 // Config parameterises a Guard.
 type Config struct {
 	// Switch is the protected device.
 	Switch *vswitch.Switch
+	// Sweeper performs the deletions; nil selects Switch itself. Async
+	// deployments pass their upcall.Revalidator here.
+	Sweeper Sweeper
 	// MaskThreshold is m_th: sweeps trigger only above it.
 	MaskThreshold int
 	// CPUThreshold is c_th in percent: once the projected slow-path load
@@ -77,6 +88,9 @@ func New(cfg Config) (*Guard, error) {
 	if cfg.IntervalSec <= 0 {
 		cfg.IntervalSec = DefaultIntervalSec
 	}
+	if cfg.Sweeper == nil {
+		cfg.Sweeper = cfg.Switch
+	}
 	return &Guard{cfg: cfg}, nil
 }
 
@@ -105,7 +119,7 @@ func (g *Guard) Tick(now int64, cpuPct float64) int {
 
 	deleted := 0
 	if g.cfg.DeleteAllDrops {
-		deleted = sw.DeleteMegaflows(func(e *tss.Entry) bool {
+		deleted = g.cfg.Sweeper.DeleteMegaflows(func(e *tss.Entry) bool {
 			return e.Action == flowtable.Drop
 		})
 		g.stats.Deleted += deleted
@@ -121,7 +135,7 @@ func (g *Guard) Tick(now int64, cpuPct float64) int {
 			continue
 		}
 		rule := r
-		n := sw.DeleteMegaflows(func(e *tss.Entry) bool {
+		n := g.cfg.Sweeper.DeleteMegaflows(func(e *tss.Entry) bool {
 			return matchesTSEPattern(layout, rule, e)
 		})
 		deleted += n

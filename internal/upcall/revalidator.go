@@ -1,0 +1,159 @@
+package upcall
+
+import (
+	"fmt"
+	"sync"
+
+	"tse/internal/tss"
+	"tse/internal/vswitch"
+)
+
+// Revalidator is the megaflow-lifecycle loop of the asynchronous slow
+// path, modelled on OVS's revalidator threads: on each sweep it dumps the
+// megaflow cache, expires entries idle past the timeout, and re-checks the
+// survivors against the current flow table (so a SwapTable becomes
+// effective in the fast path at revalidator cadence, not synchronously).
+// Monitor deletions — MFCGuard's sweeps — route through the same dump
+// machinery via DeleteMegaflows, so the repository has exactly one
+// megaflow-lifecycle path: vswitch.SweepMegaflows.
+type Revalidator struct {
+	sw       *vswitch.Switch
+	interval int64
+	timeout  int64
+
+	mu      sync.Mutex
+	lastRun int64
+	ran     bool
+	stats   RevalidatorStats
+}
+
+// RevalidatorConfig parameterises a Revalidator.
+type RevalidatorConfig struct {
+	// Switch is the device whose megaflow cache is maintained.
+	Switch *vswitch.Switch
+	// IntervalSec is the sweep cadence in virtual seconds; <= 0 selects 1
+	// (OVS revalidators wake sub-second; the simulator's clock is
+	// one-second grained).
+	IntervalSec int64
+	// IdleTimeout overrides the switch's megaflow idle horizon for
+	// expiry; <= 0 keeps the switch's configured timeout.
+	IdleTimeout int64
+}
+
+// RevalidatorStats aggregates revalidator activity.
+type RevalidatorStats struct {
+	// Sweeps counts dump passes.
+	Sweeps uint64
+	// Dumped counts entries examined across sweeps; Expired and
+	// Invalidated count deletions by cause; Suppressed counts monitor
+	// deletions routed through DeleteMegaflows.
+	Dumped, Expired, Invalidated, Suppressed uint64
+}
+
+// NewRevalidator validates the configuration and returns a Revalidator.
+func NewRevalidator(cfg RevalidatorConfig) (*Revalidator, error) {
+	if cfg.Switch == nil {
+		return nil, fmt.Errorf("upcall: revalidator needs a switch")
+	}
+	if cfg.IntervalSec <= 0 {
+		cfg.IntervalSec = 1
+	}
+	timeout := cfg.IdleTimeout
+	if timeout <= 0 {
+		timeout = cfg.Switch.IdleTimeout()
+	}
+	return &Revalidator{sw: cfg.Switch, interval: cfg.IntervalSec, timeout: timeout}, nil
+}
+
+// Tick runs a sweep at virtual time now if the cadence has elapsed,
+// returning the sweep result (zero when the cadence did not trigger).
+func (r *Revalidator) Tick(now int64) vswitch.SweepResult {
+	r.mu.Lock()
+	if r.ran && now-r.lastRun < r.interval {
+		r.mu.Unlock()
+		return vswitch.SweepResult{}
+	}
+	r.lastRun, r.ran = now, true
+	r.mu.Unlock()
+	return r.Sweep(now)
+}
+
+// Sweep performs one dump-expire-revalidate pass immediately: idle entries
+// are expired exactly as Switch.Tick would, and entries the current flow
+// table no longer regenerates are deleted (the asynchronous counterpart of
+// ReplaceTable's inline revalidation).
+//
+// The per-entry regenerate check runs only while the switch reports an
+// unsettled table swap: on a quiet table a cached megaflow can never fail
+// revalidation, so the routine sweep stays a cheap timestamp walk instead
+// of regenerating the whole (possibly attack-inflated) cache under the
+// classifier's writer lock every interval. After a full regenerate pass
+// the swap is marked settled, restoring the switch's strict
+// overlap-is-a-bug invariant.
+func (r *Revalidator) Sweep(now int64) vswitch.SweepResult {
+	if !r.sw.NeedsRevalidation() {
+		res := r.sw.SweepMegaflows(func(e *tss.Entry) vswitch.SweepDecision {
+			if now-e.LastUsed >= r.timeout {
+				return vswitch.SweepExpire
+			}
+			return vswitch.SweepKeep
+		})
+		r.record(res)
+		return res
+	}
+	seq := r.sw.GenSeq()
+	gen := r.sw.Generator()
+	res := r.sw.SweepMegaflows(func(e *tss.Entry) vswitch.SweepDecision {
+		if now-e.LastUsed >= r.timeout {
+			return vswitch.SweepExpire
+		}
+		if !vswitch.Revalidate(gen, e) {
+			return vswitch.SweepInvalidate
+		}
+		return vswitch.SweepKeep
+	})
+	r.sw.MarkRevalidated(seq)
+	r.record(res)
+	return res
+}
+
+// DeleteMegaflows routes a monitor deletion (an MFCGuard sweep) through
+// the revalidator's dump machinery, with the quirk ledger semantics of
+// vswitch.DeleteMegaflows, and records it in the revalidator stats. It
+// satisfies mitigation.Sweeper, so a guard and a revalidator share one
+// lifecycle path.
+func (r *Revalidator) DeleteMegaflows(pred func(*tss.Entry) bool) int {
+	res := r.sw.SweepMegaflows(func(e *tss.Entry) vswitch.SweepDecision {
+		if pred(e) {
+			return vswitch.SweepSuppress
+		}
+		return vswitch.SweepKeep
+	})
+	r.record(res)
+	return res.Suppressed
+}
+
+// Run sweeps on every virtual-time tick received until ticks closes — the
+// goroutine mode a deployment runs next to the handler goroutines.
+func (r *Revalidator) Run(ticks <-chan int64) {
+	for now := range ticks {
+		r.Tick(now)
+	}
+}
+
+// Stats returns a snapshot of the revalidator counters.
+func (r *Revalidator) Stats() RevalidatorStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+func (r *Revalidator) record(res vswitch.SweepResult) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Sweeps++
+	r.stats.Dumped += uint64(res.Dumped)
+	r.stats.Expired += uint64(res.Expired)
+	r.stats.Invalidated += uint64(res.Invalidated)
+	r.stats.Suppressed += uint64(res.Suppressed)
+}

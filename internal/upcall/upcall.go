@@ -1,0 +1,472 @@
+// Package upcall implements the asynchronous slow path of the simulated
+// switch: the subsystem that, in OVS, carries flow misses from the
+// datapath up to ovs-vswitchd and megaflow installs back down (§2.2 of the
+// paper). It is the architectural layer the Tuple Space Explosion attack
+// saturates — every attack packet is a flow miss, so the attack's cost is
+// paid here first — and its queue bounds and fairness quotas are where the
+// slow-path defenses live.
+//
+// The shape follows OVS:
+//
+//   - Bounded per-source upcall queues. Each upcall source (a PMD worker in
+//     the datapath pool, a vport in the kernel datapath) owns a FIFO queue
+//     with a configurable bound. A full queue refuses the miss: the packet
+//     is dropped without ever reaching the slow path, which is exactly the
+//     loss mode of slow-path saturation.
+//
+//   - Flow-miss deduplication. A pending table keyed by the exact header
+//     coalesces a burst of same-flow misses onto one in-flight upcall, so
+//     the burst installs one megaflow and pays one classification — OVS's
+//     ukey handling does the same to keep a hot new flow from flooding the
+//     handlers.
+//
+//   - Per-source fairness quotas. An OVS-style upcall rate limit: each
+//     source may admit at most QuotaPerSource upcalls per virtual second.
+//     Together with round-robin draining this keeps one flooding source
+//     (the TSE attacker's receive queue) from monopolising the handlers —
+//     a first-class mitigation knob alongside MFCGuard.
+//
+//   - Handler goroutines. Start launches handlers that drain the queues
+//     round-robin and run the flow-table classification; they call
+//     vswitch.HandleMiss and are then the single writers installing into
+//     the tss.Classifier, preserving the concurrent-reader/single-writer
+//     design of the megaflow cache.
+//
+//   - A revalidator (revalidator.go) that periodically dumps the megaflow
+//     cache, expires idle entries, and re-checks the survivors against the
+//     current flow table.
+//
+// Drive mode: with Handlers == 0 the subsystem runs no goroutines; the
+// datapath drains each admitted upcall synchronously (SubmitSync), which
+// still exercises the queue/pending/quota machinery but stays
+// deterministic — with unbounded queues and no quota it is
+// verdict-for-verdict equivalent to the inline slow path (the datapath
+// equivalence tests assert this).
+package upcall
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"tse/internal/bitvec"
+	"tse/internal/vswitch"
+)
+
+// Options tunes a Subsystem.
+type Options struct {
+	// QueueCap bounds each per-source queue; 0 means unbounded (the
+	// deterministic drive mode of the equivalence tests).
+	QueueCap int
+	// Handlers is the number of handler goroutines Start launches; <= 0
+	// selects 1. The datapath pool calls Start only when its async
+	// configuration asks for handler threads.
+	Handlers int
+	// QuotaPerSource is the OVS-style upcall rate limit: the number of
+	// upcalls each source may admit per virtual second; 0 disables the
+	// quota. Deduplicated misses consume no quota.
+	QuotaPerSource int
+	// DisableDedup turns off the pending-table flow-miss deduplication
+	// (ablation: every admitted miss becomes its own upcall).
+	DisableDedup bool
+}
+
+// Outcome classifies what Submit did with one flow miss.
+type Outcome int
+
+const (
+	// Enqueued: the miss became a new upcall in its source's queue.
+	Enqueued Outcome = iota
+	// Coalesced: an upcall for the same flow is already pending; the miss
+	// was deduplicated onto it, consuming no queue slot and no quota.
+	Coalesced
+	// DroppedQueueFull: the source's queue is at QueueCap; the packet is
+	// dropped without reaching the slow path.
+	DroppedQueueFull
+	// DroppedQuota: the source exhausted its per-second admission quota.
+	DroppedQuota
+)
+
+// Dropped reports whether the outcome refused the miss at admission.
+func (o Outcome) Dropped() bool { return o == DroppedQueueFull || o == DroppedQuota }
+
+// String names the outcome for diagnostics.
+func (o Outcome) String() string {
+	switch o {
+	case Enqueued:
+		return "enqueued"
+	case Coalesced:
+		return "coalesced"
+	case DroppedQueueFull:
+		return "dropped-queue-full"
+	case DroppedQuota:
+		return "dropped-quota"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Stats aggregates subsystem activity. Together with
+// vswitch.Counters.Installs these are the enqueued/dropped/deduped/
+// installed counters of the miss-to-install path.
+type Stats struct {
+	// Enqueued counts upcalls admitted to a queue; Deduped counts misses
+	// coalesced onto an already-pending upcall of the same flow.
+	Enqueued, Deduped uint64
+	// QueueDrops and QuotaDrops count refused misses by reason.
+	QueueDrops, QuotaDrops uint64
+	// Handled counts upcalls resolved by a handler; each one is one
+	// slow-path classification (installs appear in
+	// vswitch.Counters.Installs).
+	Handled uint64
+	// Backlog is the current total queue depth and PendingFlows the
+	// current pending-table size (snapshot fields); MaxBacklog is the
+	// backlog high-water mark.
+	Backlog, PendingFlows, MaxBacklog int
+}
+
+// pendingFlow is one in-flight upcall: the cell every waiter of the flow
+// shares. verdict is written exactly once, before done is closed.
+type pendingFlow struct {
+	done    chan struct{}
+	verdict vswitch.Verdict
+}
+
+// item is one queued upcall.
+type item struct {
+	h   bitvec.Vec
+	now int64
+	key string
+	p   *pendingFlow
+}
+
+// Ticket is a handle on a submitted upcall. The zero Ticket (returned for
+// admission drops) is invalid.
+type Ticket struct{ p *pendingFlow }
+
+// Valid reports whether the ticket references a pending upcall.
+func (t Ticket) Valid() bool { return t.p != nil }
+
+// Wait blocks until a handler resolves the upcall, then returns its
+// verdict.
+func (t Ticket) Wait() vswitch.Verdict {
+	<-t.p.done
+	return t.p.verdict
+}
+
+// Resolved returns the verdict without blocking; ok is false while the
+// upcall is still queued or being handled.
+func (t Ticket) Resolved() (v vswitch.Verdict, ok bool) {
+	select {
+	case <-t.p.done:
+		return t.p.verdict, true
+	default:
+		return vswitch.Verdict{}, false
+	}
+}
+
+// Subsystem is the upcall machinery for one switch. It is safe for
+// concurrent use: any number of sources may Submit while handlers drain.
+type Subsystem struct {
+	sw   *vswitch.Switch
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled on enqueue; handlers wait here
+	queues  [][]item   // per-source FIFO, heads[i] is the pop position
+	heads   []int
+	pending map[string]*pendingFlow
+	tokens  []int   // per-source quota tokens for the current second
+	tokenAt []int64 // virtual second the tokens were refilled at
+	next    int     // round-robin drain cursor
+	depth   int     // total queued items
+	stats   Stats
+	stopped bool
+	started bool
+
+	wg sync.WaitGroup // handler goroutines
+}
+
+// New builds a subsystem over the switch with one queue per source;
+// sources <= 0 selects 1.
+func New(sw *vswitch.Switch, sources int, opts Options) (*Subsystem, error) {
+	if sw == nil {
+		return nil, fmt.Errorf("upcall: subsystem needs a switch")
+	}
+	if sources <= 0 {
+		sources = 1
+	}
+	u := &Subsystem{
+		sw:      sw,
+		opts:    opts,
+		queues:  make([][]item, sources),
+		heads:   make([]int, sources),
+		pending: make(map[string]*pendingFlow),
+		tokens:  make([]int, sources),
+		tokenAt: make([]int64, sources),
+	}
+	u.cond = sync.NewCond(&u.mu)
+	for i := range u.tokenAt {
+		u.tokenAt[i] = math.MinInt64 // force a refill on the first Submit
+	}
+	return u, nil
+}
+
+// Switch returns the subsystem's switch.
+func (u *Subsystem) Switch() *vswitch.Switch { return u.sw }
+
+// Sources returns the number of per-source queues.
+func (u *Subsystem) Sources() int { return len(u.queues) }
+
+// Submit offers one flow miss from source src at virtual time now. The
+// outcome says what happened: a new upcall was enqueued, the miss was
+// coalesced onto a pending upcall of the same flow, or it was refused
+// (queue full / quota). The ticket is valid for Enqueued and Coalesced and
+// resolves when a handler drains the upcall.
+func (u *Subsystem) Submit(src int, h bitvec.Vec, now int64) (Ticket, Outcome) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	key := h.Key()
+	if !u.opts.DisableDedup {
+		if p, ok := u.pending[key]; ok {
+			u.stats.Deduped++
+			return Ticket{p}, Coalesced
+		}
+	}
+	// Queue bound before quota: a miss refused for lack of queue space
+	// must not burn the source's admission budget, or a flooding-induced
+	// full queue would eat the quota that later same-second misses (the
+	// victim's own flow setup) are entitled to.
+	if u.opts.QueueCap > 0 && len(u.queues[src])-u.heads[src] >= u.opts.QueueCap {
+		u.stats.QueueDrops++
+		return Ticket{}, DroppedQueueFull
+	}
+	if u.opts.QuotaPerSource > 0 {
+		if u.tokenAt[src] != now {
+			u.tokenAt[src] = now
+			u.tokens[src] = u.opts.QuotaPerSource
+		}
+		if u.tokens[src] == 0 {
+			u.stats.QuotaDrops++
+			return Ticket{}, DroppedQuota
+		}
+		u.tokens[src]--
+	}
+	p := &pendingFlow{done: make(chan struct{})}
+	if !u.opts.DisableDedup {
+		u.pending[key] = p
+	}
+	// Clone: the caller's header buffer may be reused before a handler
+	// gets to the upcall.
+	u.queues[src] = append(u.queues[src], item{h: h.Clone(), now: now, key: key, p: p})
+	u.depth++
+	if u.depth > u.stats.MaxBacklog {
+		u.stats.MaxBacklog = u.depth
+	}
+	u.stats.Enqueued++
+	u.cond.Signal()
+	return Ticket{p}, Enqueued
+}
+
+// SubmitSync is the drive-mode slow path: it submits the miss and, when
+// admitted, synchronously drains upcalls (the source's own queue first)
+// until the ticket resolves. The upcall still traverses the full
+// queue/pending/quota machinery, so drive-mode runs exercise the same code
+// the handler goroutines do while staying deterministic. An admission drop
+// returns ok == false via the outcome; the verdict is then zero.
+func (u *Subsystem) SubmitSync(src int, h bitvec.Vec, now int64) (vswitch.Verdict, Outcome) {
+	t, out := u.Submit(src, h, now)
+	if out.Dropped() {
+		return vswitch.Verdict{}, out
+	}
+	for {
+		if v, ok := t.Resolved(); ok {
+			return v, out
+		}
+		if u.handleNext(src) {
+			continue
+		}
+		if u.handleAny() {
+			continue
+		}
+		// Nothing queued anywhere, yet the ticket is unresolved: a
+		// concurrent handler owns the upcall mid-flight; wait for it.
+		return t.Wait(), out
+	}
+}
+
+// HandleN drains and handles up to max queued upcalls, visiting the
+// per-source queues round-robin — the fairness discipline that keeps one
+// flooding source from monopolising the handler budget. It returns the
+// number handled. The dataplane simulator calls this once per virtual
+// second with the modelled handler service rate; math.MaxInt drains
+// everything.
+func (u *Subsystem) HandleN(max int) int {
+	n := 0
+	for n < max {
+		u.mu.Lock()
+		it, ok := u.popAnyLocked()
+		u.mu.Unlock()
+		if !ok {
+			break
+		}
+		u.handle(it)
+		n++
+	}
+	return n
+}
+
+// DrainAll handles every queued upcall and returns the number handled.
+func (u *Subsystem) DrainAll() int { return u.HandleN(math.MaxInt) }
+
+// Start launches the handler goroutines (Options.Handlers, default 1).
+// They drain the queues round-robin, blocking while idle, until Stop.
+func (u *Subsystem) Start() {
+	u.mu.Lock()
+	if u.started {
+		u.mu.Unlock()
+		return
+	}
+	u.started = true
+	u.stopped = false
+	n := u.opts.Handlers
+	if n <= 0 {
+		n = 1
+	}
+	u.mu.Unlock()
+	for i := 0; i < n; i++ {
+		u.wg.Add(1)
+		go u.handlerLoop()
+	}
+}
+
+// Stop wakes the handlers, lets them drain the remaining backlog, and
+// joins them; outstanding tickets resolve before Stop returns. A stopped
+// subsystem can be Started again.
+func (u *Subsystem) Stop() {
+	u.mu.Lock()
+	if !u.started {
+		u.mu.Unlock()
+		return
+	}
+	u.stopped = true
+	u.started = false
+	u.cond.Broadcast()
+	u.mu.Unlock()
+	u.wg.Wait()
+}
+
+// Stats returns a snapshot of the activity counters.
+func (u *Subsystem) Stats() Stats {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	st := u.stats
+	st.Backlog = u.depth
+	st.PendingFlows = len(u.pending)
+	return st
+}
+
+// handlerLoop is one handler goroutine: block while idle, otherwise pop
+// round-robin and handle.
+func (u *Subsystem) handlerLoop() {
+	defer u.wg.Done()
+	for {
+		u.mu.Lock()
+		for u.depth == 0 && !u.stopped {
+			u.cond.Wait()
+		}
+		it, ok := u.popAnyLocked()
+		u.mu.Unlock()
+		if !ok {
+			return // stopped and drained
+		}
+		u.handle(it)
+	}
+}
+
+// handle resolves one upcall: the handler-side slow path. The verdict
+// comes from vswitch.HandleMiss — classification plus megaflow install —
+// stamped with the miss's own virtual time, exactly as the inline pipeline
+// stamps it. The pending entry is then retired and every waiter released.
+func (u *Subsystem) handle(it item) {
+	v := u.sw.HandleMiss(it.h, it.now)
+	u.mu.Lock()
+	if u.pending[it.key] == it.p {
+		delete(u.pending, it.key)
+	}
+	u.stats.Handled++
+	u.mu.Unlock()
+	it.p.verdict = v
+	close(it.p.done)
+}
+
+// handleNext pops and handles the oldest upcall of source src, reporting
+// whether there was one.
+func (u *Subsystem) handleNext(src int) bool {
+	u.mu.Lock()
+	it, ok := u.popLocked(src)
+	u.mu.Unlock()
+	if !ok {
+		return false
+	}
+	u.handle(it)
+	return true
+}
+
+// handleAny pops and handles one upcall from any queue (round-robin),
+// reporting whether there was one.
+func (u *Subsystem) handleAny() bool {
+	u.mu.Lock()
+	it, ok := u.popAnyLocked()
+	u.mu.Unlock()
+	if !ok {
+		return false
+	}
+	u.handle(it)
+	return true
+}
+
+// popLocked removes the oldest upcall of source src. Callers hold u.mu.
+func (u *Subsystem) popLocked(src int) (item, bool) {
+	q := u.queues[src]
+	h := u.heads[src]
+	if h >= len(q) {
+		return item{}, false
+	}
+	it := q[h]
+	q[h] = item{} // release the header and pending references
+	h++
+	switch {
+	case h == len(q):
+		// Queue drained: rewind so the backing array is reused.
+		u.queues[src] = q[:0]
+		u.heads[src] = 0
+	case h >= 32 && h*2 >= len(q):
+		// Mostly-consumed head: compact so a standing backlog (pops and
+		// pushes balanced, queue never empty) keeps the backing array at
+		// O(live items), not O(items ever enqueued). Amortised O(1).
+		n := copy(q, q[h:])
+		for i := n; i < len(q); i++ {
+			q[i] = item{} // drop references from the vacated tail
+		}
+		u.queues[src] = q[:n]
+		u.heads[src] = 0
+	default:
+		u.heads[src] = h
+	}
+	u.depth--
+	return it, true
+}
+
+// popAnyLocked removes the oldest upcall of the next non-empty queue in
+// round-robin order. Callers hold u.mu.
+func (u *Subsystem) popAnyLocked() (item, bool) {
+	for i := 0; i < len(u.queues); i++ {
+		src := (u.next + i) % len(u.queues)
+		if it, ok := u.popLocked(src); ok {
+			u.next = (src + 1) % len(u.queues)
+			return it, true
+		}
+	}
+	return item{}, false
+}
