@@ -7,6 +7,9 @@
 //	tsebench -fig all        # regenerate everything (takes ~1 min)
 //	tsebench -workers 6      # PMD datapath scaling table for 1 vs 6 cores
 //	tsebench -json BENCH.json  # write the hot-path perf suite as JSON
+//	tsebench -compare OLD.json NEW.json  # CI regression gate over two
+//	                         # committed BENCH files (>2x slowdown of the
+//	                         # mask-scan/victim-lookup families fails)
 //
 // Each experiment prints the same rows/series the paper reports plus the
 // paper's published anchor values for comparison; EXPERIMENTS.md records
@@ -28,7 +31,21 @@ func main() {
 		"run the multicore datapath scaling table comparing 1 worker against N")
 	jsonPath := flag.String("json", "",
 		"measure the hot-path benchmark suite and write machine-readable results to this path")
+	compare := flag.Bool("compare", false,
+		"compare two BENCH json files (old new) and exit non-zero on hot-path regressions")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "tsebench: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		if err := experiments.CompareBenchFiles(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "tsebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonPath != "" {
 		if err := experiments.WriteBenchJSON(os.Stdout, *jsonPath); err != nil {

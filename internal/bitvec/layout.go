@@ -39,8 +39,9 @@ type Layout struct {
 	fields  []Field
 	offsets []int // offsets[i] = first global bit index of field i
 	byName  map[string]int
-	bits    int // total width in bits
-	words   int // number of uint64 words backing a Vec
+	bits    int   // total width in bits
+	words   int   // number of uint64 words backing a Vec
+	stages  []int // staged-lookup word boundaries (see StageBoundaries)
 }
 
 // NewLayout builds a Layout from the given fields. It returns an error if
@@ -73,7 +74,75 @@ func NewLayout(fields ...Field) (*Layout, error) {
 	}
 	l.bits = off
 	l.words = (off + 63) / 64
+	l.stages = computeStages(l)
 	return l, nil
+}
+
+// Protocol stages of the staged subtable lookup, in scan order. They mirror
+// the four stages of OVS's classifier (lib/classifier.c "staged lookup"):
+// metadata first, then L2, L3, and L4 header fields. A probe that already
+// fails on the early words never touches the later ones.
+const (
+	stageMetadata = iota
+	stageL2
+	stageL3
+	stageL4
+)
+
+// fieldStage classifies a header field by name into its protocol stage.
+// The repository's layouts use OVS-flavoured names (ip_src, ip6_dst,
+// tp_dst, ...); unknown names sort into the metadata stage, which is
+// scanned first, matching OVS's treatment of register/metadata fields.
+func fieldStage(name string) int {
+	switch {
+	case strings.HasPrefix(name, "tp_") || strings.HasPrefix(name, "tcp_") ||
+		strings.HasPrefix(name, "udp_") || strings.HasPrefix(name, "icmp_"):
+		return stageL4
+	case strings.HasPrefix(name, "ip"): // ip_src, ip_dst, ip_proto, ip6_*
+		return stageL3
+	case strings.HasPrefix(name, "eth_") || strings.HasPrefix(name, "dl_") ||
+		strings.HasPrefix(name, "vlan_"):
+		return stageL2
+	default:
+		return stageMetadata
+	}
+}
+
+// computeStages derives the layout's staged-lookup word boundaries. Each
+// 64-bit word is assigned the latest protocol stage with bits in it (a word
+// shared by an L3 tail and an L4 field belongs to the L4 stage: a stage's
+// partial hash must cover every word of the stages before it). Boundaries
+// are the word indices where the stage changes, terminated by the word
+// count, so stage s spans words [bounds[s-1], bounds[s]).
+func computeStages(l *Layout) []int {
+	class := make([]int, l.words)
+	for i, f := range l.fields {
+		st := fieldStage(f.Name)
+		first, last := l.offsets[i]/64, (l.offsets[i]+f.Width-1)/64
+		for w := first; w <= last; w++ {
+			if st > class[w] {
+				class[w] = st
+			}
+		}
+	}
+	var out []int
+	for w := 1; w < l.words; w++ {
+		if class[w] != class[w-1] {
+			out = append(out, w)
+		}
+	}
+	return append(out, l.words)
+}
+
+// StageBoundaries returns the staged-lookup word ranges of the layout:
+// boundaries[s] is one past the last word of stage s, with the final entry
+// equal to Words(). A single-entry result means the layout is too narrow
+// to stage (all fields share one word class) and staged lookup degenerates
+// to the plain full-width probe. The returned slice is a copy.
+func (l *Layout) StageBoundaries() []int {
+	out := make([]int, len(l.stages))
+	copy(out, l.stages)
+	return out
 }
 
 // MustLayout is like NewLayout but panics on error. Intended for

@@ -244,6 +244,14 @@ func mixWord(w uint64, i int) uint64 {
 	return x ^ x>>32
 }
 
+// MixWord is the exported per-word term of KeyHash: KeyHash(v) is the XOR
+// of MixWord(w, i) over v's nonzero words. Because XOR is associative, a
+// caller can accumulate the hash incrementally over any partition of the
+// word indices — the primitive behind the classifier's staged lookup,
+// where each stage contributes its words' mixes and the running value at
+// the final stage IS the full fingerprint.
+func MixWord(w uint64, i int) uint64 { return mixWord(w, i) }
+
 // KeyHash returns the bucket hash of v: the XOR of position-tagged mixes of
 // its nonzero words. Because zero words contribute nothing, the same hash
 // can be computed through a sparse mask without materialising the masked
@@ -335,11 +343,36 @@ func NewSparseMask(mask Vec) (s SparseMask, ok bool) {
 	return s, true
 }
 
+// N returns the number of nonzero mask words the sparse view holds.
+func (s *SparseMask) N() int { return int(s.n) }
+
+// WordIndex returns the Vec word index of sparse slot k.
+func (s *SparseMask) WordIndex(k int) int { return int(s.idx[k]) }
+
+// MaskWord returns the mask word stored at sparse slot k.
+func (s *SparseMask) MaskWord(k int) uint64 { return s.w[k] }
+
 // Hash returns KeyHash(h AND mask) without materialising the masked
 // vector. Identical to HashMasked(h, mask, mask.NonzeroWords()).
 func (s *SparseMask) Hash(h Vec) uint64 {
 	var x uint64
 	for k := uint8(0); k < s.n; k++ {
+		i := int(s.idx[k])
+		if w := h[i] & s.w[k]; w != 0 {
+			x ^= mixWord(w, i)
+		}
+	}
+	return x
+}
+
+// HashRange returns the partial hash contribution of sparse slots
+// [from, to): the XOR of MixWord over those slots' masked header words.
+// Because KeyHash is an XOR of per-word mixes, Hash(h) equals the XOR of
+// HashRange(h, ...) over any partition of [0, N()) — the incremental
+// property the classifier's staged lookup accumulates stage by stage.
+func (s *SparseMask) HashRange(h Vec, from, to int) uint64 {
+	var x uint64
+	for k := from; k < to; k++ {
 		i := int(s.idx[k])
 		if w := h[i] & s.w[k]; w != 0 {
 			x ^= mixWord(w, i)

@@ -517,3 +517,121 @@ func BenchmarkAndInto(b *testing.B) {
 		h.AndInto(m, dst)
 	}
 }
+
+// TestStageBoundaries pins the staged-lookup word ranges of the standard
+// layouts: the IPv4 5-tuple splits into an L3 word and an L3/L4 tail word,
+// the IPv6 5-tuple into four address words and the proto+ports word, and
+// the single-word toy layouts cannot stage at all.
+func TestStageBoundaries(t *testing.T) {
+	cases := []struct {
+		l    *Layout
+		want []int
+	}{
+		{IPv4Tuple, []int{1, 2}},
+		{IPv6Tuple, []int{4, 5}},
+		{HYP, []int{1}},
+		{HYP2, []int{1}},
+	}
+	for _, c := range cases {
+		got := c.l.StageBoundaries()
+		if len(got) != len(c.want) {
+			t.Errorf("%s: boundaries = %v, want %v", c.l, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: boundaries = %v, want %v", c.l, got, c.want)
+				break
+			}
+		}
+	}
+	// The final boundary is always the word count, and mutating the copy
+	// must not corrupt the layout.
+	b := IPv4Tuple.StageBoundaries()
+	if b[len(b)-1] != IPv4Tuple.Words() {
+		t.Errorf("final boundary = %d, want Words() = %d", b[len(b)-1], IPv4Tuple.Words())
+	}
+	b[0] = 99
+	if IPv4Tuple.StageBoundaries()[0] != 1 {
+		t.Error("StageBoundaries returned aliased internal state")
+	}
+}
+
+// TestHashRangePartition is the incremental-hash property staged lookup
+// rests on: for any split points, the XOR of HashRange over the segments
+// equals the full Hash, and the final accumulated value equals the full
+// fingerprint KeyHash(h AND m).
+func TestHashRangePartition(t *testing.T) {
+	l := IPv6Tuple
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		h, m := NewVec(l), NewVec(l)
+		for i := range h {
+			h[i] = rng.Uint64()
+			if rng.Intn(3) > 0 {
+				m[i] = rng.Uint64()
+			}
+		}
+		trim(l, h)
+		trim(l, m)
+		sp, ok := NewSparseMask(m)
+		if !ok {
+			t.Fatal("IPv6Tuple mask must fit inline")
+		}
+		full := sp.Hash(h)
+		n := sp.N()
+		// Random partition of [0, n).
+		var cuts []int
+		for k := 1; k < n; k++ {
+			if rng.Intn(2) == 0 {
+				cuts = append(cuts, k)
+			}
+		}
+		cuts = append(cuts, n)
+		var acc uint64
+		from := 0
+		for _, to := range cuts {
+			acc ^= sp.HashRange(h, from, to)
+			from = to
+		}
+		if acc != full {
+			t.Fatalf("partition hash %#x != full hash %#x (cuts %v)", acc, full, cuts)
+		}
+		if full != KeyHash(h.And(m)) {
+			t.Fatalf("full hash %#x != KeyHash(h AND m)", full)
+		}
+		// MixWord agrees with the internal mixer through KeyHash: a vector
+		// with one nonzero word hashes to exactly that word's mix.
+		one := NewVec(l)
+		w := rng.Uint64() | 1
+		one[2] = w
+		if KeyHash(one) != MixWord(w, 2) {
+			t.Fatal("MixWord disagrees with KeyHash on a single-word vector")
+		}
+	}
+}
+
+// TestSparseMaskAccessors checks the slot accessors agree with
+// NonzeroWords on the masks the classifier builds.
+func TestSparseMaskAccessors(t *testing.T) {
+	l := IPv4Tuple
+	m := NewVec(l)
+	m.SetField(l, 0, 0xffff0000) // ip_src prefix: word 0
+	m.SetField(l, 4, 0xffff)     // tp_dst: word 1
+	sp, ok := NewSparseMask(m)
+	if !ok {
+		t.Fatal("mask must fit inline")
+	}
+	words := m.NonzeroWords()
+	if sp.N() != len(words) {
+		t.Fatalf("N() = %d, want %d", sp.N(), len(words))
+	}
+	for k, wi := range words {
+		if sp.WordIndex(k) != wi {
+			t.Errorf("WordIndex(%d) = %d, want %d", k, sp.WordIndex(k), wi)
+		}
+		if sp.MaskWord(k) != m[wi] {
+			t.Errorf("MaskWord(%d) = %#x, want %#x", k, sp.MaskWord(k), m[wi])
+		}
+	}
+}

@@ -60,6 +60,12 @@ func BenchmarkDatapathWorkers(b *testing.B) {
 				b.StopTimer()
 				pps := float64(b.N) * float64(len(trace)) / b.Elapsed().Seconds()
 				b.ReportMetric(pps, "pkts/s")
+				// The attack regime is a mask-scan benchmark: report how
+				// much of the scan the staged lookup skipped (per-worker
+				// handles sum into Totals).
+				if tot := pool.Totals(); tot.Probes > 0 {
+					b.ReportMetric(float64(tot.StageSkips)/float64(tot.Probes), "skipfrac")
+				}
 			})
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"tse/internal/bitvec"
 	"tse/internal/flowtable"
 	"tse/internal/microflow"
+	"tse/internal/tss"
 	"tse/internal/upcall"
 	"tse/internal/vswitch"
 )
@@ -82,6 +83,11 @@ type WorkerStats struct {
 	// Probes is the total number of megaflow mask probes the worker spent
 	// — the per-core share of the linear scan cost the attack inflates.
 	Probes uint64
+	// StageSkips is the number of those probes the classifier's staged
+	// lookup rejected on first-stage words alone (tss.Stats.StageSkips,
+	// read from the worker's private classifier handle): the fraction of
+	// the worker's scan cost the staging optimisation elided.
+	StageSkips uint64
 	// Upcalls counts misses submitted to the upcall subsystem (admitted
 	// or coalesced); UpcallDrops counts misses refused at admission.
 	Upcalls, UpcallDrops uint64
@@ -105,11 +111,14 @@ type Pool struct {
 	handlers bool // async mode runs handler goroutines (vs drive mode)
 }
 
-// worker is one PMD: a private EMC plus reusable burst buffers. Only its
-// own goroutine (or the serial driver) touches it during a dispatch.
+// worker is one PMD: a private EMC, a private classifier handle (lock-free
+// snapshot reads with per-worker statistic shards), plus reusable burst
+// buffers. Only its own goroutine (or the serial driver) touches it during
+// a dispatch.
 type worker struct {
 	id    int
 	emc   *microflow.Cache
+	mfc   *tss.Handle
 	stats WorkerStats
 
 	// Per-dispatch shard and per-burst scratch buffers, reused across
@@ -144,7 +153,7 @@ func New(cfg Config) (*Pool, error) {
 	}
 	p := &Pool{sw: cfg.Switch, batch: cfg.BatchSize}
 	for i := 0; i < cfg.Workers; i++ {
-		w := &worker{id: i}
+		w := &worker{id: i, mfc: cfg.Switch.MFC().NewHandle()}
 		if !cfg.DisableEMC {
 			w.emc = microflow.New(cfg.EMCCapacity)
 		}
@@ -331,10 +340,10 @@ func (w *worker) burst(p *Pool, hs []bitvec.Vec, idx []int, now int64, out []vsw
 	}
 	w.verdicts = growVerdicts(w.verdicts, len(missHs))
 	if p.up == nil {
-		p.sw.ProcessBatch(missHs, now, w.verdicts)
+		p.sw.ProcessBatchOn(w.mfc, missHs, now, w.verdicts, nil)
 	} else {
 		w.tickets = w.tickets[:0]
-		p.sw.ProcessBatchFunc(missHs, now, w.verdicts, func(i, probes int) vswitch.Verdict {
+		p.sw.ProcessBatchOn(w.mfc, missHs, now, w.verdicts, func(i, probes int) vswitch.Verdict {
 			return w.miss(p, missHs[i], now, i, probes, deferred)
 		})
 		for _, pt := range w.tickets {
@@ -428,6 +437,7 @@ func (p *Pool) Totals() WorkerStats {
 		t.Dropped += s.Dropped
 		t.Allowed += s.Allowed
 		t.Probes += s.Probes
+		t.StageSkips += s.StageSkips
 		t.Upcalls += s.Upcalls
 		t.UpcallDrops += s.UpcallDrops
 		t.EMC.Hits += s.EMC.Hits
@@ -437,12 +447,14 @@ func (p *Pool) Totals() WorkerStats {
 	return t
 }
 
-// snapshot copies the worker's counters with the live EMC stats attached.
+// snapshot copies the worker's counters with the live EMC stats and the
+// classifier handle's stage-skip count attached.
 func (w *worker) snapshot() WorkerStats {
 	s := w.stats
 	if w.emc != nil {
 		s.EMC = w.emc.Stats()
 	}
+	s.StageSkips = w.mfc.Stats().StageSkips
 	return s
 }
 

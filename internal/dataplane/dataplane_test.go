@@ -270,3 +270,37 @@ func TestFig8cShape(t *testing.T) {
 		t.Errorf("peak masks = %d, want > 8000", peak)
 	}
 }
+
+// TestStagedCostModel pins the staged-lookup pricing: with SkippedProbeCost
+// unset the staged throughput equals the unstaged one exactly (staging off
+// is the calibrated default), and with a cheaper skipped probe the victim's
+// modelled throughput improves monotonically with the discount while never
+// beating the single-mask baseline.
+func TestStagedCostModel(t *testing.T) {
+	base := NewModel(TCPGroOff)
+	for _, masks := range []int{1, 17, 516, 8200} {
+		if got, want := base.ThroughputForMasksStaged(masks), base.ThroughputForMasks(masks); got != want {
+			t.Errorf("masks=%d: staged %v != unstaged %v with staging off", masks, got, want)
+		}
+	}
+	prof := TCPGroOff
+	prof.SkippedProbeCost = prof.ProbeCost * 0.4
+	m := NewModel(prof)
+	for _, masks := range []int{17, 516, 8200} {
+		off := m.ThroughputForMasks(masks)
+		on := m.ThroughputForMasksStaged(masks)
+		if on <= off {
+			t.Errorf("masks=%d: staged %v not faster than unstaged %v", masks, on, off)
+		}
+		if baseline := m.ThroughputForMasks(1); on > baseline {
+			t.Errorf("masks=%d: staged %v beats the 1-mask baseline %v", masks, on, baseline)
+		}
+	}
+	// Packet-cost identity: probes all skipped but one, discount applied
+	// to exactly probes-1 of them.
+	p := m.StagedPacketCost(11, 10)
+	want := (prof.BaseCost + prof.ProbeCost*1 + prof.SkippedProbeCost*10) / prof.Coalesce
+	if math.Abs(p-want) > 1e-9 {
+		t.Errorf("StagedPacketCost = %v, want %v", p, want)
+	}
+}

@@ -25,6 +25,13 @@ type NICProfile struct {
 	BaseCost float64
 	// ProbeCost is the cost of one TSS mask probe.
 	ProbeCost float64
+	// SkippedProbeCost is the cost of a probe the classifier's staged
+	// lookup rejected at its first stage (one-or-two-word touch instead
+	// of the full masked hash+compare). <= 0 means staging off: skipped
+	// probes cost ProbeCost, preserving the paper-calibrated defaults.
+	// The `stagedscan` experiment fits this constant from the measured
+	// staged-vs-unstaged per-probe ratio of the real classifier.
+	SkippedProbeCost float64
 	// MicroflowCost prices an exact-match cache hit.
 	MicroflowCost float64
 	// SlowPathCost prices a full slow-path classification + install,
@@ -130,6 +137,34 @@ func (m *Model) ThroughputForMasks(masks int) float64 {
 		masks = 1
 	}
 	return m.ThroughputGbps((float64(masks) + 1) / 2)
+}
+
+// StagedPacketCost prices one wire packet whose classification spent
+// `probes` mask probes, of which `skipped` bailed at their first stage
+// (priced at SkippedProbeCost instead of ProbeCost).
+func (m *Model) StagedPacketCost(probes, skipped float64) float64 {
+	sc := m.prof.SkippedProbeCost
+	if sc <= 0 {
+		sc = m.prof.ProbeCost
+	}
+	return (m.prof.BaseCost + m.prof.ProbeCost*(probes-skipped) + sc*skipped) / m.prof.Coalesce
+}
+
+// ThroughputForMasksStaged is ThroughputForMasks under staged lookup: the
+// victim's mask still sits at expected position (masks+1)/2, but every
+// probe before it is a non-matching mask the staged scan rejects at its
+// first stage, so only the final (matching) probe pays full ProbeCost.
+// With SkippedProbeCost unset this equals ThroughputForMasks exactly.
+func (m *Model) ThroughputForMasksStaged(masks int) float64 {
+	if masks < 1 {
+		masks = 1
+	}
+	probes := (float64(masks) + 1) / 2
+	pps := m.budget / m.StagedPacketCost(probes, probes-1)
+	if line := m.prof.LinePps(); pps > line {
+		pps = line
+	}
+	return pps * PacketBytes * 8 / 1e9
 }
 
 // FlowCompletionSec returns the transfer time of a bulk TCP flow of the

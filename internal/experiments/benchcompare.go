@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// regressionPrefixes name the benchmark families the CI regression gate
+// watches: the O(|M|) mask-scan cost and the victim's lookup under attack
+// states — the two quantities every perf PR in this repository exists to
+// move. Other results (scenario summaries, upcall round trips) are
+// trajectory data but not gated: they mix policy with speed.
+var regressionPrefixes = []string{"tss_lookup_miss_", "victim_lookup_"}
+
+// RegressionFactor is the slowdown the gate tolerates between two
+// committed BENCH files: generous enough for cross-host noise (the files
+// are measured wherever the PR was built), tight enough that an
+// accidental O(|M|) constant-factor regression cannot land silently.
+const RegressionFactor = 2.0
+
+// LoadBenchReport reads a tsebench -json file.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	return &rep, nil
+}
+
+// gated reports whether a benchmark name is in a gated family.
+func gated(name string) bool {
+	for _, p := range regressionPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// CompareBenchReports diffs two bench reports and returns an error if any
+// gated benchmark present in both slowed down by more than factor, or
+// newly allocates on a previously allocation-free hot path. The full
+// comparison table is written to w either way.
+func CompareBenchReports(w io.Writer, oldRep, newRep *BenchReport, factor float64) error {
+	oldBy := make(map[string]BenchResult, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+	var regressions []string
+	fmt.Fprintf(w, "%-36s %12s %12s %8s\n", "benchmark", "old[ns]", "new[ns]", "ratio")
+	for _, nr := range newRep.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			continue
+		}
+		ratio := 0.0
+		if or.NsPerOp > 0 {
+			ratio = nr.NsPerOp / or.NsPerOp
+		}
+		mark := ""
+		if gated(nr.Name) {
+			if ratio > factor {
+				mark = "  << REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.1f ns -> %.1f ns (%.2fx > %.2fx)",
+						nr.Name, or.NsPerOp, nr.NsPerOp, ratio, factor))
+			}
+			if or.AllocsPerOp == 0 && nr.AllocsPerOp > 0 {
+				mark = "  << ALLOCATES"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: hot path now allocates (%d allocs/op, was 0)",
+						nr.Name, nr.AllocsPerOp))
+			}
+		}
+		fmt.Fprintf(w, "%-36s %12.1f %12.1f %7.2fx%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, ratio, mark)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench regression gate failed:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+// CompareBenchFiles is CompareBenchReports over two committed JSON files,
+// the form the CI gate invokes (tsebench -compare old.json new.json).
+func CompareBenchFiles(w io.Writer, oldPath, newPath string) error {
+	oldRep, err := LoadBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := LoadBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "comparing %s (gomaxprocs=%d) -> %s (gomaxprocs=%d), gate %.1fx on %s\n",
+		oldPath, oldRep.GoMaxProcs, newPath, newRep.GoMaxProcs,
+		RegressionFactor, strings.Join(regressionPrefixes, "*, ")+"*")
+	return CompareBenchReports(w, oldRep, newRep, RegressionFactor)
+}

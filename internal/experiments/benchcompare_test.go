@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func rep(results ...BenchResult) *BenchReport {
+	return &BenchReport{Schema: BenchSchema, Results: results}
+}
+
+func TestCompareBenchReports(t *testing.T) {
+	oldRep := rep(
+		BenchResult{Name: "tss_lookup_miss_masks_4096", NsPerOp: 20000},
+		BenchResult{Name: "victim_lookup_SipDp", NsPerOp: 2000},
+		BenchResult{Name: "upcall_roundtrip_suppressed", NsPerOp: 800},
+	)
+
+	t.Run("improvement passes", func(t *testing.T) {
+		newRep := rep(
+			BenchResult{Name: "tss_lookup_miss_masks_4096", NsPerOp: 12000},
+			BenchResult{Name: "victim_lookup_SipDp", NsPerOp: 1500},
+		)
+		var buf bytes.Buffer
+		if err := CompareBenchReports(&buf, oldRep, newRep, 2.0); err != nil {
+			t.Fatalf("improvement flagged as regression: %v", err)
+		}
+		if !strings.Contains(buf.String(), "0.60x") {
+			t.Errorf("table missing ratio:\n%s", buf.String())
+		}
+	})
+
+	t.Run("mild noise passes", func(t *testing.T) {
+		newRep := rep(BenchResult{Name: "tss_lookup_miss_masks_4096", NsPerOp: 30000})
+		if err := CompareBenchReports(new(bytes.Buffer), oldRep, newRep, 2.0); err != nil {
+			t.Fatalf("1.5x noise tripped the 2x gate: %v", err)
+		}
+	})
+
+	t.Run("gated slowdown fails", func(t *testing.T) {
+		newRep := rep(BenchResult{Name: "victim_lookup_SipDp", NsPerOp: 4100})
+		err := CompareBenchReports(new(bytes.Buffer), oldRep, newRep, 2.0)
+		if err == nil || !strings.Contains(err.Error(), "victim_lookup_SipDp") {
+			t.Fatalf("2.05x gated slowdown not flagged: %v", err)
+		}
+	})
+
+	t.Run("ungated slowdown passes", func(t *testing.T) {
+		newRep := rep(BenchResult{Name: "upcall_roundtrip_suppressed", NsPerOp: 8000})
+		if err := CompareBenchReports(new(bytes.Buffer), oldRep, newRep, 2.0); err != nil {
+			t.Fatalf("ungated bench tripped the gate: %v", err)
+		}
+	})
+
+	t.Run("new allocation on hot path fails", func(t *testing.T) {
+		newRep := rep(BenchResult{Name: "tss_lookup_miss_masks_4096", NsPerOp: 10000, AllocsPerOp: 1})
+		err := CompareBenchReports(new(bytes.Buffer), oldRep, newRep, 2.0)
+		if err == nil || !strings.Contains(err.Error(), "allocates") {
+			t.Fatalf("hot-path allocation not flagged: %v", err)
+		}
+	})
+
+	t.Run("names only in one file are ignored", func(t *testing.T) {
+		newRep := rep(BenchResult{Name: "tss_lookup_miss_masks_99999", NsPerOp: 1e9})
+		if err := CompareBenchReports(new(bytes.Buffer), oldRep, newRep, 2.0); err != nil {
+			t.Fatalf("unmatched name tripped the gate: %v", err)
+		}
+	})
+}
+
+// TestCompareCommittedBenchFiles runs the actual CI gate over the
+// committed trajectory files, so a PR cannot commit a BENCH file that
+// fails its own gate.
+func TestCompareCommittedBenchFiles(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CompareBenchFiles(&buf, "../../BENCH_pr3.json", "../../BENCH_pr4.json"); err != nil {
+		t.Fatalf("committed trajectory fails the gate: %v\n%s", err, buf.String())
+	}
+}

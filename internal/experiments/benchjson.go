@@ -11,6 +11,7 @@ import (
 
 	"tse/internal/bitvec"
 	"tse/internal/core"
+	"tse/internal/datapath"
 	"tse/internal/dataplane"
 	"tse/internal/flowtable"
 	"tse/internal/microflow"
@@ -20,9 +21,13 @@ import (
 )
 
 // BenchSchema versions the JSON layout so downstream tooling can detect
-// format changes. v2 adds the upcall micro-benchmarks and the scenarios
-// section (slow-path saturation summaries).
-const BenchSchema = "tse-bench/v2"
+// format changes. v2 added the upcall micro-benchmarks and the scenarios
+// section (slow-path saturation summaries); v3 records the host's
+// GOMAXPROCS and a per-result worker count, so multi-worker results are
+// no longer conflated with single-core runs (the committed BENCH_pr2/pr3
+// files were measured on a num_cpu=1 host, which their multi-worker
+// figures silently inherited).
+const BenchSchema = "tse-bench/v3"
 
 // BenchResult is one measured micro-benchmark in the JSON report.
 type BenchResult struct {
@@ -35,6 +40,12 @@ type BenchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	// N is the iteration count the timing is averaged over.
 	N int `json:"n"`
+	// Workers is the worker/goroutine count of the measurement: 0 for a
+	// plain single-goroutine benchmark, the pool size for datapath
+	// benches, GOMAXPROCS for RunParallel benches. Joined with the
+	// report's GoMaxProcs it tells whether a multi-worker figure had real
+	// cores behind it.
+	Workers int `json:"workers,omitempty"`
 	// Extra carries benchmark-specific dimensions (mask counts etc.).
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
@@ -70,13 +81,19 @@ type ScenarioResult struct {
 
 // BenchReport is the machine-readable perf snapshot tsebench -json emits.
 type BenchReport struct {
-	Schema    string           `json:"schema"`
-	GoVersion string           `json:"go_version"`
-	GOOS      string           `json:"goos"`
-	GOARCH    string           `json:"goarch"`
-	NumCPU    int              `json:"num_cpu"`
-	Results   []BenchResult    `json:"results"`
-	Scenarios []ScenarioResult `json:"scenarios,omitempty"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs is the scheduler's parallelism at measurement time: the
+	// number of cores multi-worker results could actually use. On a
+	// GoMaxProcs=1 host, worker-scaling figures measure scheduling
+	// overhead, not parallel speedup — record it so they are never again
+	// read as if cores were behind them.
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Results    []BenchResult    `json:"results"`
+	Scenarios  []ScenarioResult `json:"scenarios,omitempty"`
 }
 
 // populateMasks installs n entries under n distinct masks (prefix
@@ -136,13 +153,14 @@ func benchVictimKey() bitvec.Vec {
 // successive PRs' JSON files diff into a perf trajectory.
 func BenchJSON() (*BenchReport, error) {
 	rep := &BenchReport{
-		Schema:    BenchSchema,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		Schema:     BenchSchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
-	add := func(name string, extra map[string]float64, fn func(b *testing.B)) {
+	addW := func(name string, workers int, extra map[string]float64, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
 		rep.Results = append(rep.Results, BenchResult{
 			Name:        name,
@@ -150,27 +168,66 @@ func BenchJSON() (*BenchReport, error) {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			N:           r.N,
+			Workers:     workers,
 			Extra:       extra,
 		})
 	}
+	add := func(name string, extra map[string]float64, fn func(b *testing.B)) {
+		addW(name, 0, extra, fn)
+	}
 
 	// TSS mask-scan cost (Observation 1): full-miss scan at |M| masks.
+	// The default classifier stages its probes; the 4096-point also runs
+	// the unstaged ablation so the staged win stays visible in one file.
 	l := bitvec.IPv4Tuple
 	for _, masks := range []int{16, 256, 4096} {
+		for _, unstaged := range []bool{false, true} {
+			if unstaged && masks != 4096 {
+				continue
+			}
+			c := tss.New(l, tss.Options{DisableOverlapCheck: true, DisableStagedLookup: unstaged})
+			if err := populateMasks(c, l, masks); err != nil {
+				return nil, err
+			}
+			miss := bitvec.NewVec(l)
+			sip, _ := l.FieldIndex("ip_src")
+			miss.SetField(l, sip, 0xffffffff)
+			name := fmt.Sprintf("tss_lookup_miss_masks_%d", masks)
+			if unstaged {
+				name += "_unstaged"
+			}
+			add(name, map[string]float64{"masks": float64(masks)},
+				func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						c.Lookup(miss, 0)
+					}
+				})
+		}
+	}
+
+	// Parallel miss scan over one shared classifier: every goroutine holds
+	// its own Handle, so the snapshot read path runs lock-free. Workers
+	// records GOMAXPROCS — on a single-core host this measures the absence
+	// of reader contention, not parallel speedup.
+	{
 		c := tss.New(l, tss.Options{DisableOverlapCheck: true})
-		if err := populateMasks(c, l, masks); err != nil {
+		if err := populateMasks(c, l, 4096); err != nil {
 			return nil, err
 		}
 		miss := bitvec.NewVec(l)
 		sip, _ := l.FieldIndex("ip_src")
 		miss.SetField(l, sip, 0xffffffff)
-		add(fmt.Sprintf("tss_lookup_miss_masks_%d", masks),
-			map[string]float64{"masks": float64(masks)},
+		addW("tss_lookup_parallel_masks_4096", runtime.GOMAXPROCS(0),
+			map[string]float64{"masks": 4096},
 			func(b *testing.B) {
 				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					c.Lookup(miss, 0)
-				}
+				b.RunParallel(func(pb *testing.PB) {
+					hd := c.NewHandle()
+					for pb.Next() {
+						hd.Lookup(miss, 0)
+					}
+				})
 			})
 	}
 
@@ -198,6 +255,49 @@ func BenchJSON() (*BenchReport, error) {
 					sw.MFC().Lookup(victim, 0)
 				}
 			})
+	}
+
+	// Attack-regime datapath throughput vs worker count: every packet of
+	// the co-located flood pays the shared mask scan (EMCs off — attack
+	// headers never repeat), the regime PR 1 measured flat across workers
+	// because all PMDs serialised on the classifier's reader/writer lock.
+	// With lock-free snapshots the scan itself is contention-free; whether
+	// added workers buy wall-clock throughput depends on GoMaxProcs (a
+	// 1-core host runs the workers sequentially, and this file says so).
+	{
+		tbl := flowtable.UseCaseACL(flowtable.SipDp, flowtable.ACLParams{})
+		attackTr, err := core.CoLocated(tbl, core.CoLocatedOptions{Noise: true, Seed: 3})
+		if err != nil {
+			return nil, err
+		}
+		trace := attackTr.Headers
+		for _, workers := range []int{1, 2, 4} {
+			sw, err := vswitch.New(vswitch.Config{Table: tbl, DisableMicroflow: true})
+			if err != nil {
+				return nil, err
+			}
+			pool, err := datapath.New(datapath.Config{Switch: sw, Workers: workers, DisableEMC: true})
+			if err != nil {
+				return nil, err
+			}
+			out := pool.ProcessBatch(trace, 0, nil) // warm: install megaflows
+			name := fmt.Sprintf("datapath_attack_workers_%d", workers)
+			addW(name, workers, map[string]float64{
+				"pkts_per_op": float64(len(trace)),
+				"masks":       float64(sw.MFC().MaskCount()),
+			}, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out = pool.ProcessBatch(trace, 1, out)
+				}
+			})
+			// Record throughput explicitly so the trajectory diff reads in
+			// pkts/s without dividing by the trace length.
+			last := &rep.Results[len(rep.Results)-1]
+			if last.NsPerOp > 0 {
+				last.Extra["pkts_per_sec"] = float64(len(trace)) / (last.NsPerOp / 1e9)
+			}
+		}
 	}
 
 	// EMC exact-match lookup, hit and miss.

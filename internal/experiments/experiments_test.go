@@ -11,7 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"constructions", "masks", "ipv6", "cms", "alt", "guard", "theorems",
 		"fig9a", "fig8a", "fig8b", "fig8c", "fig9b", "fig9c", "general",
-		"remedies", "bandwidth", "multicore", "saturation",
+		"remedies", "bandwidth", "multicore", "saturation", "stagedscan",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -42,6 +42,7 @@ func TestLightExperimentsProduceOutput(t *testing.T) {
 		"ipv6":          {"entries", "handful"},
 		"bandwidth":     {"SipSpDp", "kbps"},
 		"remedies":      {"MFC off", "GRO ON"},
+		"stagedscan":    {"speedup", "4096", "skipped-probe cost"},
 	}
 	for id, needles := range cases {
 		t.Run(id, func(t *testing.T) {

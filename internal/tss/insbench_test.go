@@ -1,0 +1,28 @@
+package tss
+
+import (
+	"testing"
+
+	"tse/internal/bitvec"
+	"tse/internal/flowtable"
+)
+
+// BenchmarkInsertAtManyMasks measures the writer-side cost of one megaflow
+// install into an attack-inflated classifier: the copy-on-write publish
+// re-copies the O(|M|) probe mirror, so this is the per-upcall bill the
+// snapshot design charges the slow path to keep the read path lock-free
+// (the mirror itself is maintained incrementally; the copy is a memcpy).
+func BenchmarkInsertAtManyMasks(b *testing.B) {
+	l := bitvec.IPv4Tuple
+	c := New(l, Options{DisableOverlapCheck: true})
+	populateDistinctMasks(c, l, 4096)
+	sip, _ := l.FieldIndex("ip_src")
+	mask := bitvec.FullMask(l)
+	key := bitvec.NewVec(l)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key.SetField(l, sip, uint64(i))
+		c.Insert(&Entry{Key: key.Clone(), Mask: mask, Action: flowtable.Drop}, 0)
+	}
+}

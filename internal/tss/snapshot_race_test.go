@@ -1,0 +1,218 @@
+package tss
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tse/internal/bitvec"
+	"tse/internal/flowtable"
+)
+
+// TestSnapshotConsistencyUnderWrites drives the lock-free read path hard
+// while writers churn the classifier, asserting the copy-on-write
+// snapshot guarantees (run under -race in CI):
+//
+//   - monotonic visibility: an entry inserted before a reader starts (and
+//     never deleted) hits on every subsequent lookup, no matter how many
+//     snapshots are published around it;
+//   - no torn scans: every lookup's probe count is bounded by the mask
+//     high-water mark, and dump readers always observe pairwise-disjoint
+//     entries;
+//   - counters are monotonic: a sampler never sees Stats go backwards.
+func TestSnapshotConsistencyUnderWrites(t *testing.T) {
+	l := bitvec.IPv4Tuple
+	c := New(l, Options{DisableOverlapCheck: true})
+	sip, _ := l.FieldIndex("ip_src")
+	dip, _ := l.FieldIndex("ip_dst")
+	fullMask := bitvec.FullMask(l)
+
+	// Stable population: exact-match entries present for the whole test.
+	const stable = 64
+	mkStable := func(v uint64) bitvec.Vec {
+		h := bitvec.NewVec(l)
+		h.SetField(l, sip, v)
+		h.SetField(l, dip, 0x0a000001)
+		return h
+	}
+	for i := 0; i < stable; i++ {
+		if err := c.Insert(&Entry{Key: mkStable(uint64(i)), Mask: fullMask,
+			Action: flowtable.Allow, RuleName: "stable"}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		readers = 4
+		churn   = 400
+	)
+	maskHigh := int64(stable + 1) // high-water bound for probe counts
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writer: churn distinct attack-style masks (insert then delete),
+	// interleaved with sweeps and refreshes of the stable entries.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for i := 0; i < churn; i++ {
+			mask := bitvec.PrefixMask(l, sip, 1+i%31).Or(bitvec.PrefixMask(l, dip, 1+i%16))
+			key := bitvec.NewVec(l)
+			key.SetFieldBit(l, sip, i%31)
+			key.SetFieldBit(l, dip, i%16)
+			e := &Entry{Key: key.And(mask), Mask: mask, Action: flowtable.Drop, RuleName: "churn"}
+			// Raise the probe bound BEFORE publishing the new snapshot, so
+			// a reader can never legitimately observe more probes than the
+			// recorded high-water mark (single writer: +1 mask max).
+			if next := int64(c.MaskCount()) + 1; next > atomic.LoadInt64(&maskHigh) {
+				atomic.StoreInt64(&maskHigh, next)
+			}
+			if err := c.Insert(e, int64(i)); err != nil {
+				t.Error(err)
+				return
+			}
+			switch i % 5 {
+			case 0:
+				c.Delete(e.Key, e.Mask)
+			case 1:
+				c.DeleteWhere(func(e *Entry) bool { return e.RuleName == "churn" })
+			case 2:
+				// Refresh a stable entry (same key+mask, COW replace).
+				if err := c.Insert(&Entry{Key: mkStable(uint64(i % stable)), Mask: fullMask.Clone(),
+					Action: flowtable.Allow, RuleName: "stable"}, int64(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Readers: stable entries must hit on every snapshot.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			hd := c.NewHandle()
+			hs := make([]bitvec.Vec, 8)
+			out := make([]BatchResult, 8)
+			for i := 0; !stop.Load(); i++ {
+				v := uint64((i + r) % stable)
+				e, probes, ok := hd.Lookup(mkStable(v), int64(i))
+				if !ok || e.Action != flowtable.Allow {
+					t.Errorf("reader %d: stable entry %d missed (torn snapshot?)", r, v)
+					return
+				}
+				if hi := atomic.LoadInt64(&maskHigh); int64(probes) > hi {
+					t.Errorf("reader %d: probes %d beyond mask high-water %d", r, probes, hi)
+					return
+				}
+				for j := range hs {
+					hs[j] = mkStable(uint64((i + j) % stable))
+				}
+				n := hd.LookupBatch(hs, int64(i), out)
+				if n != len(hs) {
+					t.Errorf("reader %d: batch consumed %d of %d over stable entries", r, n, len(hs))
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Dump reader: snapshots are always internally consistent.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			es := c.Entries()
+			seen := make(map[string]bool, len(es))
+			for _, e := range es {
+				id := e.Key.Key() + "|" + e.Mask.Key()
+				if seen[id] {
+					t.Error("dump observed a duplicated entry (torn scan list)")
+					return
+				}
+				seen[id] = true
+			}
+			n := 0
+			for _, e := range es {
+				if e.RuleName == "stable" {
+					n++
+				}
+			}
+			if n != stable {
+				t.Errorf("dump observed %d stable entries, want %d", n, stable)
+				return
+			}
+		}
+	}()
+
+	// Stats sampler: totals never go backwards.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last Stats
+		for !stop.Load() {
+			s := c.Stats()
+			if s.Lookups < last.Lookups || s.Hits < last.Hits || s.Misses < last.Misses ||
+				s.Probes < last.Probes || s.StageSkips < last.StageSkips ||
+				s.Inserted < last.Inserted || s.Deleted < last.Deleted {
+				t.Errorf("stats went backwards: %+v after %+v", s, last)
+				return
+			}
+			last = s
+		}
+	}()
+
+	wg.Wait()
+
+	if got := c.Stats(); got.Lookups != got.Hits+got.Misses {
+		t.Errorf("lookups %d != hits %d + misses %d", got.Lookups, got.Hits, got.Misses)
+	}
+	// All churn entries were deleted by the final DeleteWhere rounds or
+	// remain; either way the stable set must be intact.
+	for i := 0; i < stable; i++ {
+		if _, _, ok := c.Lookup(mkStable(uint64(i)), 0); !ok {
+			t.Fatalf("stable entry %d lost", i)
+		}
+	}
+}
+
+// TestSnapshotOrderHitCountConcurrent exercises the TryLock-based lazy
+// resort under concurrent readers: hammering distinct entries from many
+// goroutines must neither deadlock nor lose hit accounting.
+func TestSnapshotOrderHitCountConcurrent(t *testing.T) {
+	c := New(bitvec.HYP, Options{Order: OrderHitCount})
+	loadFig3(t, c)
+	var wg sync.WaitGroup
+	const (
+		goroutines = 8
+		lookups    = 2000
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			hd := c.NewHandle()
+			for i := 0; i < lookups; i++ {
+				hd.Lookup(hyp(uint64((g+i)%8)), int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Lookups != goroutines*lookups {
+		t.Errorf("lookups = %d, want %d", s.Lookups, goroutines*lookups)
+	}
+	if s.Lookups != s.Hits+s.Misses {
+		t.Errorf("lookups %d != hits %d + misses %d", s.Lookups, s.Hits, s.Misses)
+	}
+	// Hammer one mask and confirm the resort still promotes it.
+	for i := 0; i < 50000; i++ {
+		c.Lookup(hyp(4), 0)
+	}
+	c.Lookup(hyp(4), 0)
+	if _, probes, ok := c.Lookup(hyp(4), 0); !ok || probes != 1 {
+		t.Errorf("hot mask not front-sorted after concurrent phase: probes=%d ok=%v", probes, ok)
+	}
+}

@@ -19,6 +19,19 @@
 // The Tuple Space Explosion attack inflates |M|; see package vswitch for
 // how the slow path's megaflow generation lets an adversary do that, and
 // package core for the attack itself.
+//
+// # Concurrency: copy-on-write snapshots
+//
+// The classifier's read path is lock-free. The scan state (mask order,
+// per-mask subtables, inlined probe data) lives in an immutable snapshot
+// published through an atomic pointer, the Go equivalent of OVS's RCU
+// cmap/pvector in dpcls: readers load the current snapshot and scan it
+// without synchronisation, writers build the next snapshot under a mutex
+// (cloning only the mask groups they touch) and publish it atomically.
+// A retired snapshot lives until its last in-flight reader drops it; the
+// garbage collector plays the role of the RCU grace period. Hit counters
+// are sharded per reader handle so parallel PMD workers never contend on
+// a shared counter cache line.
 package tss
 
 import (
@@ -71,12 +84,37 @@ type Entry struct {
 	// LastUsed and Hits are updated atomically by concurrent lookups; the
 	// other fields are never mutated once the entry is inserted (refresh
 	// installs swap the whole entry), so lookups may read them lock-free.
+	// Entry pointers are shared between successive snapshots, so the
+	// counters survive copy-on-write group clones.
 }
 
 // Format renders the entry figure-style: "01*|1111 -> deny".
 func (e *Entry) Format(l *bitvec.Layout) string {
 	return fmt.Sprintf("%s -> %s", bitvec.FormatMasked(l, e.Key, e.Mask), e.Action)
 }
+
+// LastUsedAt atomically reads a live entry's last-used stamp. Sweep
+// predicates (DeleteWhere, vswitch.SweepMegaflows deciders) run while
+// lock-free lookups refresh the stamp, so they must read through this
+// accessor; the copies returned by Entries carry plain values and may be
+// read directly.
+func (e *Entry) LastUsedAt() int64 { return atomic.LoadInt64(&e.LastUsed) }
+
+// HitCount atomically reads a live entry's hit counter (see LastUsedAt).
+func (e *Entry) HitCount() uint64 { return atomic.LoadUint64(&e.Hits) }
+
+// stageFilter is a 256-bit Bloom filter over the partial stage hashes of a
+// group's entries: one bit per possible low byte of the running stage
+// hash. A probe whose accumulated hash has no bit set can bail before
+// touching the group's later-stage words or its slot table. False
+// positives only cost the skipped early-exit; the final slot probe still
+// confirms exactly. OVS's classifier keeps the same structure per subtable
+// ("staged lookup" in lib/classifier.c).
+type stageFilter [4]uint64
+
+func (f *stageFilter) add(h uint64) { f[(h>>6)&3] |= 1 << (h & 63) }
+
+func (f *stageFilter) has(h uint64) bool { return f[(h>>6)&3]>>(h&63)&1 == 1 }
 
 // group is one tuple: a mask plus the hash table of keys sharing it,
 // OVS-subtable style. Two precomputations make the lookup probe cheap:
@@ -85,24 +123,37 @@ func (e *Entry) Format(l *bitvec.Layout) string {
 // (miniflow-style sparsity) and never materialises the masked header; and
 // entries live in a power-of-two open-addressing slot array (fingerprint +
 // entry pointer, linear probing) rather than a Go map, so a probe is an
-// array walk with no map-runtime calls and no allocation. Slots are only
-// mutated under the classifier's writer lock; readers scan under the
-// shared reader lock.
+// array walk with no map-runtime calls and no allocation.
+//
+// Groups are copy-on-write: once a snapshot referencing the group has been
+// published (frozen == true), writers clone the group before mutating it,
+// so concurrent readers always scan a consistent slot array. The hits
+// counter is shared across clones through a pointer so no hit accounting
+// is lost when a group is copied.
 type group struct {
 	// slots and sparse lead the struct so a lookup probe's loads stay
 	// within the group's first cache lines.
 	slots    []slot
 	sparse   bitvec.SparseMask // inline nonzero-word view of mask
 	sparseOK bool              // mask fits inline; else use mask/words
+	frozen   bool              // published in a snapshot; clone to mutate
 	solo     *Entry            // the sole entry while n == 1, else nil
 	soloFP   uint64            // solo's fingerprint
+
+	// stageOff are the staged-lookup slot offsets: stage s covers sparse
+	// slots [stageOff[s], stageOff[s+1]). nil (or a single effective
+	// stage) means the group probes unstaged. filters[s] is the Bloom
+	// filter of entry hashes accumulated through stage s (checked after
+	// every stage but the last, which the slot table itself decides).
+	stageOff []uint8
+	filters  []stageFilter
 
 	mask    bitvec.Vec
 	maskKey string
 	hash    uint64
 	words   []int // nonzero word indices of mask, in order
 	n       int
-	hits    uint64
+	hits    *uint64 // shared across copy-on-write clones
 	seq     int
 }
 
@@ -117,18 +168,61 @@ type slot struct {
 // every early insert.
 const minGroupSlots = 8
 
-// newGroup builds an empty group for the (already cloned) mask.
-func newGroup(mask bitvec.Vec, maskKey string, seq int) *group {
+// newGroup builds an empty group for the (already cloned) mask. stages is
+// the classifier's staged-lookup word boundary list (nil when staging is
+// off).
+func newGroup(mask bitvec.Vec, maskKey string, seq int, stages []int) *group {
 	g := &group{
 		mask:    mask,
 		maskKey: maskKey,
 		hash:    mask.Hash(),
 		words:   mask.NonzeroWords(),
 		slots:   make([]slot, minGroupSlots),
+		hits:    new(uint64),
 		seq:     seq,
 	}
 	g.sparse, g.sparseOK = bitvec.NewSparseMask(mask)
+	if g.sparseOK && len(stages) > 1 {
+		g.stageOff = buildStageOff(&g.sparse, stages)
+		if n := len(g.stageOff); n > 2 {
+			g.filters = make([]stageFilter, n-2)
+		}
+	}
 	return g
+}
+
+// buildStageOff converts the layout's word-range stage boundaries into
+// sparse-slot offsets for this mask, collapsing stages the mask has no
+// words in. Returns nil when the mask effectively has a single stage (all
+// its nonzero words fall in one range), in which case staging would be a
+// full-width probe anyway.
+func buildStageOff(sp *bitvec.SparseMask, bounds []int) []uint8 {
+	n := sp.N()
+	off := make([]uint8, 1, len(bounds)+1)
+	k := 0
+	for _, b := range bounds {
+		for k < n && sp.WordIndex(k) < b {
+			k++
+		}
+		if int(off[len(off)-1]) != k {
+			off = append(off, uint8(k))
+		}
+	}
+	if len(off) < 3 {
+		return nil
+	}
+	return off
+}
+
+// clone returns a mutable copy of the group sharing the immutable pieces
+// (mask, words, stage offsets, hit counter) and copying everything a
+// writer mutates in place (slot array, Bloom filters, counts).
+func (g *group) clone() *group {
+	ng := *g
+	ng.slots = append([]slot(nil), g.slots...)
+	ng.filters = append([]stageFilter(nil), g.filters...)
+	ng.frozen = false
+	return &ng
 }
 
 // hashHeader returns the fingerprint of h under the group's mask,
@@ -154,11 +248,38 @@ func (g *group) equalKey(key, h bitvec.Vec) bool {
 func keyHash(v bitvec.Vec) uint64 { return bitvec.KeyHash(v) }
 
 // findMasked returns the entry matching header h under the group's mask
-// (the one whose key equals h AND mask), or nil. This is the lookup hot
-// path: hash and compare run fused over the mask's nonzero words only, so
+// (the one whose key equals h AND mask), or nil. This is the unstaged
+// probe: hash and compare run fused over the mask's nonzero words only, so
 // no scratch vector and no allocation.
 func (g *group) findMasked(h bitvec.Vec) *Entry {
 	fp := g.hashHeader(h)
+	return g.probeSlots(fp, h)
+}
+
+// findMaskedStaged is findMasked with the staged early bail: the
+// fingerprint is accumulated stage by stage (bitvec.SparseMask.HashRange's
+// incremental property) and each pre-final stage's running value is
+// checked against the group's Bloom filter of entry hashes. A probe whose
+// partial hash matches no entry bails without touching the remaining
+// stages' header words or the slot table; skipped reports that early exit
+// (the quantity Stats.StageSkips counts).
+func (g *group) findMaskedStaged(h bitvec.Vec) (e *Entry, skipped bool) {
+	last := len(g.stageOff) - 1
+	if last < 2 {
+		return g.findMasked(h), false
+	}
+	var fp uint64
+	for s := 0; s < last; s++ {
+		fp ^= g.sparse.HashRange(h, int(g.stageOff[s]), int(g.stageOff[s+1]))
+		if s < last-1 && !g.filters[s].has(fp) {
+			return nil, true
+		}
+	}
+	return g.probeSlots(fp, h), false
+}
+
+// probeSlots walks the open-addressing slot array for the fingerprint.
+func (g *group) probeSlots(fp uint64, h bitvec.Vec) *Entry {
 	m := uint64(len(g.slots) - 1)
 	for i := fp & m; ; i = (i + 1) & m {
 		s := g.slots[i]
@@ -188,7 +309,7 @@ func (g *group) find(k bitvec.Vec) *Entry {
 }
 
 // put inserts e (whose key must not already be present), growing the slot
-// array past 3/4 load.
+// array past 3/4 load and folding the entry into the stage filters.
 func (g *group) put(e *Entry) {
 	if (g.n+1)*4 > len(g.slots)*3 {
 		old := g.slots
@@ -206,6 +327,35 @@ func (g *group) put(e *Entry) {
 		g.solo, g.soloFP = e, fp
 	} else {
 		g.solo = nil
+	}
+	// Bloom bits only accumulate on insert; remove rebuilds from scratch.
+	g.addToFilters(e)
+}
+
+// addToFilters records e's partial stage hashes in the group's Bloom
+// filters. filters[s] holds hashes accumulated through sparse slots
+// [0, stageOff[s+1]); the entry's key is canonical (key ⊆ mask), so
+// hashing the key under the group's own sparse view yields exactly the
+// running value a matching header produces at that stage.
+func (g *group) addToFilters(e *Entry) {
+	for s := range g.filters {
+		g.filters[s].add(g.sparse.HashRange(e.Key, 0, int(g.stageOff[s+1])))
+	}
+}
+
+// rebuildFilters recomputes the stage filters from the live entries
+// (Bloom filters cannot delete; called after remove).
+func (g *group) rebuildFilters() {
+	if g.filters == nil {
+		return
+	}
+	for s := range g.filters {
+		g.filters[s] = stageFilter{}
+	}
+	for _, sl := range g.slots {
+		if sl.e != nil {
+			g.addToFilters(sl.e)
+		}
 	}
 }
 
@@ -279,6 +429,7 @@ func (g *group) remove(k bitvec.Vec) bool {
 			}
 		}
 	}
+	g.rebuildFilters()
 	return true
 }
 
@@ -300,6 +451,12 @@ type Stats struct {
 	// Probes is the total number of mask probes performed; Probes/Lookups
 	// is the average per-packet classification effort the attack inflates.
 	Probes uint64
+	// StageSkips counts probes that bailed at a stage boundary before
+	// doing the full-width hash+compare work: a staged probe rejected on
+	// its first-stage words (or, for one-entry groups, on an early key
+	// word). StageSkips/Probes is the fraction of the O(|M|) scan the
+	// staging optimisation reduced to one-or-two-word touches.
+	StageSkips uint64
 	// Inserted and Deleted count entry lifecycle events.
 	Inserted, Deleted uint64
 }
@@ -313,107 +470,263 @@ type Options struct {
 	// construction, so its pipeline may disable the check; tests and
 	// direct users keep it on.
 	DisableOverlapCheck bool
+	// DisableStagedLookup turns off the staged per-probe early bail and
+	// makes every probe the full masked hash+compare, the pre-staging
+	// behaviour. The OVS counterpart is the classifier's staged lookup
+	// (lib/classifier.c): OVS has no knob for it, but disabling it here
+	// is what the staged-vs-unstaged ablation and the equivalence tests
+	// measure against.
+	DisableStagedLookup bool
+	// Stages overrides the staged-lookup word boundaries (ascending,
+	// final element = layout words). nil derives them from the layout's
+	// field names (metadata → L2 → L3 → L4, bitvec.Layout.StageBoundaries),
+	// which is what OVS's flow-struct offsets hard-code.
+	Stages []int
 }
 
-// Classifier is a TSS megaflow cache. It is safe for concurrent use:
-// lookups run under a shared reader lock (PMD-style datapath workers
-// classify in parallel), while inserts and deletes take the writer lock.
-// Hit accounting on the read path (entry hits, last-used stamps, scan
-// statistics) uses atomic updates so concurrent readers never block each
-// other.
+// statShard is one reader handle's private counter block, padded to a
+// cache line so parallel workers never false-share. Updates are atomic
+// (Stats aggregates shards while readers run) but uncontended: each
+// handle owns its shard.
+type statShard struct {
+	lookups, hits, misses, probes, stageSkips uint64
+	_                                         [3]uint64 // pad to 64 bytes
+}
+
+// Handle is a per-reader view of the classifier: same lock-free lookups,
+// but hit statistics land in a private cache-line-padded shard, so
+// parallel PMD workers scanning the shared classifier never contend on
+// counter memory. Create one Handle per worker (NewHandle); the
+// classifier's own Lookup/LookupBatch use a default handle.
+type Handle struct {
+	c  *Classifier
+	sh *statShard
+}
+
+// Classifier is a TSS megaflow cache, safe for concurrent use. Readers
+// (Lookup, LookupBatch, Entries, Masks, Dump, MaskCount, EntryCount,
+// ProbePosition) are lock-free: they load the current snapshot from an
+// atomic pointer and never block, so PMD-style datapath workers scale
+// without serialising on a classifier lock. Writers (Insert, Delete,
+// DeleteWhere, ExpireIdle) serialise on a mutex, clone only the mask
+// groups they touch (copy-on-write), and publish the next snapshot
+// atomically.
 type Classifier struct {
-	mu      sync.RWMutex
+	mu      sync.Mutex // serialises writers; readers never take it
 	layout  *bitvec.Layout
-	groups  []*group    // in scan order
-	scan    []scanProbe // flat per-probe hot data, parallel to groups
+	groups  []*group    // authoritative scan order (writer-side)
+	probes  []scanProbe // mirror of groups' probe records, kept in sync
+	thawed  []*group    // groups created/cloned since the last publish
 	byMask  map[string]*group
 	nEntry  int
 	nextSeq int
 	opts    Options
-	stats   Stats
-	dirty   atomic.Bool // OrderHitCount needs re-sort
+	stages  []int // staged-lookup word boundaries; nil = staging off
+	staged  bool
+
+	snap  atomic.Pointer[snapshot]
+	dirty atomic.Bool // OrderHitCount needs re-sort
+
+	def      *Handle
+	shardsMu sync.Mutex
+	shards   []*statShard
+
+	inserted, deleted uint64 // writer-side counters, under mu
 }
 
-// scanProbe is one step of the lookup scan, flattened: the group's inline
-// sparse mask copied next to its group pointer so the O(|M|) scan walks
-// sequential memory the hardware prefetcher can stream, instead of chasing
-// a pointer per mask. Groups holding exactly one entry — the shape TSE
-// attack state takes, one megaflow per inflated mask — additionally have
-// that entry's fingerprint and pointer inlined, so a probe that misses
-// such a group decides on the streamed fingerprint alone and never loads
-// the group's slot table. Rebuilt under the writer lock after any
-// structural change.
+// snapshot is one immutable published scan state: the flat probe list in
+// scan order (each record carries its group pointer, so the dump-style
+// readers walk the same slice). Readers obtained it from the atomic
+// pointer; nothing in it is mutated after publication (entry and hit
+// counters are updated atomically through shared pointers).
+type snapshot struct {
+	probes []scanProbe
+	nEntry int
+}
+
+// scanProbe is one step of the lookup scan, flattened so the O(|M|) walk
+// streams sequential memory the hardware prefetcher can follow instead of
+// chasing a pointer per mask. Groups holding exactly one entry under an
+// inline-able mask — the shape TSE attack state takes, one megaflow per
+// inflated mask — have their *first-stage* probe fully inlined: the first
+// nonzero mask word and the entry's key word under it sit in the record
+// itself, so the staged probe decides most misses with a single AND and
+// compare against streamed bytes, never dereferencing the group. The
+// record is kept to 56 bytes deliberately — the 4096-mask scan is memory-
+// bandwidth-bound, so bytes per probe matter more than instructions.
 type scanProbe struct {
-	sparse   bitvec.SparseMask
-	fp0      uint64 // fingerprint of the sole entry, when e0 != nil
-	e0       *Entry // sole entry of a one-entry inline-mask group
-	g        *group
-	sparseOK bool
+	e0   *Entry  // sole entry of a one-entry inline-mask group, else nil
+	hits *uint64 // group hit counter, shared across snapshots
+	g    *group
+	mw0  uint64 // first nonzero mask word of the solo group's mask
+	kw0  uint64 // solo entry's key word under mw0
+	idx0 uint8  // Vec word index of mw0
+	n    uint8  // nonzero mask words of the solo group's mask
 }
 
-// rebuildScanLocked refreshes the flat scan list from c.groups. Called
-// under the writer lock after any change that adds, drops, or reorders
-// groups, or changes a group's entry membership.
-func (c *Classifier) rebuildScanLocked() {
-	if cap(c.scan) < len(c.groups) {
-		// Grow with slack: an attack installing one new mask per upcall
-		// must not reallocate the scan list on every insert.
-		c.scan = make([]scanProbe, len(c.groups), 2*len(c.groups)+16)
-	}
-	// Clear any tail beyond the new length so a post-wipe shrink does not
-	// pin deleted entries and groups through the backing array.
-	for i := len(c.groups); i < len(c.scan); i++ {
-		c.scan[i] = scanProbe{}
-	}
-	c.scan = c.scan[:len(c.groups)]
-	for i, g := range c.groups {
-		p := scanProbe{sparse: g.sparse, sparseOK: g.sparseOK, g: g}
-		if g.sparseOK && g.solo != nil {
-			p.fp0, p.e0 = g.soloFP, g.solo
+// buildProbe constructs the scan record for a group's current state.
+// Writers call it whenever a group's membership or solo entry changes,
+// keeping the writer-side probe mirror in sync with c.groups.
+func buildProbe(g *group) scanProbe {
+	p := scanProbe{g: g, hits: g.hits}
+	if g.sparseOK && g.solo != nil {
+		p.e0 = g.solo
+		p.n = uint8(g.sparse.N())
+		if p.n > 0 {
+			wi := g.sparse.WordIndex(0)
+			p.idx0 = uint8(wi)
+			p.mw0 = g.sparse.MaskWord(0)
+			p.kw0 = g.solo.Key[wi]
 		}
-		c.scan[i] = p
 	}
+	return p
+}
+
+// publishLocked copies the writer-side mirror into the next snapshot and
+// publishes it. Called under the writer lock after every mutation. The
+// copy is the copy-on-write bill — O(|M|) memcpy per publish, the same
+// shape as OVS's RCU pvector republish — but deliberately just a memcpy:
+// probe records are maintained incrementally as groups change, not
+// reconstructed per publish (an attack installing one megaflow per upcall
+// pays memory bandwidth here, not pointer-chasing). Groups touched since
+// the last publish are frozen so later writers clone before mutating
+// (readers may scan this snapshot indefinitely).
+func (c *Classifier) publishLocked() {
+	sn := &snapshot{
+		probes: append([]scanProbe(nil), c.probes...),
+		nEntry: c.nEntry,
+	}
+	for _, g := range c.thawed {
+		g.frozen = true
+	}
+	c.thawed = c.thawed[:0]
+	c.snap.Store(sn)
+}
+
+// indexOfLocked returns g's position in the writer-side scan order.
+func (c *Classifier) indexOfLocked(g *group) int {
+	for i, gg := range c.groups {
+		if gg == g {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeAtLocked drops the group at scan position i from the writer-side
+// lists and the mask index. The vacated tail slot is zeroed so a
+// post-wipe shrink (MFCGuard deleting a whole attack state) does not pin
+// deleted entries and groups through the slices' backing arrays.
+func (c *Classifier) removeAtLocked(i int) {
+	delete(c.byMask, c.groups[i].maskKey)
+	n := len(c.groups) - 1
+	copy(c.groups[i:], c.groups[i+1:])
+	c.groups[n] = nil
+	c.groups = c.groups[:n]
+	copy(c.probes[i:], c.probes[i+1:])
+	c.probes[n] = scanProbe{}
+	c.probes = c.probes[:n]
 }
 
 // New creates an empty classifier over the layout.
 func New(l *bitvec.Layout, opts Options) *Classifier {
-	return &Classifier{
+	c := &Classifier{
 		layout: l,
 		byMask: make(map[string]*group),
 		opts:   opts,
 	}
+	bounds := opts.Stages
+	if bounds == nil {
+		bounds = l.StageBoundaries()
+	}
+	if !opts.DisableStagedLookup && len(bounds) > 1 {
+		c.stages = bounds
+		c.staged = true
+	}
+	c.def = c.NewHandle()
+	c.publishLocked()
+	return c
 }
 
 // Layout returns the classifier's header layout.
 func (c *Classifier) Layout() *bitvec.Layout { return c.layout }
 
+// Staged reports whether the staged per-probe early bail is active.
+func (c *Classifier) Staged() bool { return c.staged }
+
+// NewHandle returns a reader handle with a private statistics shard.
+// Handles are cheap and never expire; create one per worker goroutine.
+func (c *Classifier) NewHandle() *Handle {
+	sh := &statShard{}
+	c.shardsMu.Lock()
+	c.shards = append(c.shards, sh)
+	c.shardsMu.Unlock()
+	return &Handle{c: c, sh: sh}
+}
+
 // Lookup classifies header h at virtual time now. It returns the matching
 // entry, the number of mask probes performed (the classification cost the
-// attack drives up), and whether the lookup hit.
+// attack drives up), and whether the lookup hit. Statistics land in the
+// classifier's default handle; parallel workers should use per-worker
+// handles (NewHandle) to keep counter cache lines private.
 func (c *Classifier) Lookup(h bitvec.Vec, now int64) (*Entry, int, bool) {
+	return c.def.Lookup(h, now)
+}
+
+// Lookup is Classifier.Lookup recording statistics in the handle's shard.
+func (hd *Handle) Lookup(h bitvec.Vec, now int64) (*Entry, int, bool) {
+	c := hd.c
 	c.maybeResort()
-	c.mu.RLock()
-	e, probes, ok := c.lookupRLocked(h, now)
-	c.mu.RUnlock()
+	e, probes, _, ok := hd.lookupSnap(c.snap.Load(), h, now)
 	return e, probes, ok
 }
 
-// lookupRLocked runs Algorithm 1 under a held reader lock: for M ∈ M, look
-// up (h AND M) in H_M; first hit wins. Each probe runs fused over the
-// mask's nonzero words (no scratch vector, no allocation). Hit accounting
-// is atomic so any number of readers may run concurrently.
-func (c *Classifier) lookupRLocked(h bitvec.Vec, now int64) (*Entry, int, bool) {
-	atomic.AddUint64(&c.stats.Lookups, 1)
-	probes := 0
-	for k := range c.scan {
-		p := &c.scan[k]
+// lookupSnap runs Algorithm 1 over one snapshot: for M ∈ M, look up
+// (h AND M) in H_M; first hit wins. Each probe runs fused over the mask's
+// nonzero words (no scratch vector, no allocation), with the staged early
+// bail skipping most of that work for non-matching masks. Hit accounting
+// is atomic so any number of readers may run concurrently; scan
+// statistics go to the handle's private shard.
+func (hd *Handle) lookupSnap(sn *snapshot, h bitvec.Vec, now int64) (*Entry, int, int, bool) {
+	c := hd.c
+	staged := c.staged
+	probes, skips := 0, 0
+	for k := range sn.probes {
+		p := &sn.probes[k]
 		probes++
 		var e *Entry
 		if p.e0 != nil {
-			// One-entry group: decide on the inlined fingerprint; only a
-			// match (or a 2^-64 collision) touches the entry itself.
-			if p.sparse.Hash(h) == p.fp0 && p.sparse.EqualKey(p.e0.Key, h) {
-				e = p.e0
+			if staged {
+				// Inlined one-entry group: compare the first masked header
+				// word against the inlined key word. A mismatch — the
+				// overwhelmingly common case in the attack regime — bails
+				// on streamed bytes alone; matching every nonzero mask
+				// word IS the full match (the key is canonical), so a hit
+				// needs no hash at all.
+				if h[p.idx0]&p.mw0 != p.kw0 {
+					if p.n > 1 {
+						skips++
+					}
+				} else if p.n <= 1 {
+					e = p.e0
+				} else if p.g.sparse.EqualKey(p.e0.Key, h) {
+					// First word agreed: confirm the remaining stage words
+					// through the group (rare, so the extra dereference is
+					// off the common path).
+					e = p.e0
+				}
+			} else {
+				// Unstaged: decide on the group's fingerprint; only a
+				// match (or a 2^-64 collision) touches the entry itself.
+				if g := p.g; g.sparse.Hash(h) == g.soloFP && g.sparse.EqualKey(p.e0.Key, h) {
+					e = p.e0
+				}
+			}
+		} else if staged {
+			var skip bool
+			e, skip = p.g.findMaskedStaged(h)
+			if skip {
+				skips++
 			}
 		} else {
 			e = p.g.findMasked(h)
@@ -421,18 +734,24 @@ func (c *Classifier) lookupRLocked(h bitvec.Vec, now int64) (*Entry, int, bool) 
 		if e != nil {
 			atomic.AddUint64(&e.Hits, 1)
 			atomic.StoreInt64(&e.LastUsed, now)
-			atomic.AddUint64(&p.g.hits, 1)
+			atomic.AddUint64(p.hits, 1)
 			if c.opts.Order == OrderHitCount {
 				c.dirty.Store(true)
 			}
-			atomic.AddUint64(&c.stats.Hits, 1)
-			atomic.AddUint64(&c.stats.Probes, uint64(probes))
-			return e, probes, true
+			sh := hd.sh
+			atomic.AddUint64(&sh.lookups, 1)
+			atomic.AddUint64(&sh.hits, 1)
+			atomic.AddUint64(&sh.probes, uint64(probes))
+			atomic.AddUint64(&sh.stageSkips, uint64(skips))
+			return e, probes, skips, true
 		}
 	}
-	atomic.AddUint64(&c.stats.Misses, 1)
-	atomic.AddUint64(&c.stats.Probes, uint64(probes))
-	return nil, probes, false
+	sh := hd.sh
+	atomic.AddUint64(&sh.lookups, 1)
+	atomic.AddUint64(&sh.misses, 1)
+	atomic.AddUint64(&sh.probes, uint64(probes))
+	atomic.AddUint64(&sh.stageSkips, uint64(skips))
+	return nil, probes, skips, false
 }
 
 // BatchResult is one per-header outcome of LookupBatch.
@@ -445,8 +764,8 @@ type BatchResult struct {
 	OK bool
 }
 
-// LookupBatch classifies consecutive headers from hs under a single reader
-// lock acquisition, filling out (which must be at least as long as hs) and
+// LookupBatch classifies consecutive headers from hs over a single
+// snapshot load, filling out (which must be at least as long as hs) and
 // returning the number of headers consumed. It stops after the first miss
 // — in the OVS datapath a miss triggers an upcall whose megaflow install
 // changes cache membership, so results computed past a miss could diverge
@@ -459,31 +778,54 @@ type BatchResult struct {
 // than between every pair of packets (as OVS's pvector does); OrderHash and
 // OrderInsertion are unaffected.
 func (c *Classifier) LookupBatch(hs []bitvec.Vec, now int64, out []BatchResult) int {
+	return c.def.LookupBatch(hs, now, out)
+}
+
+// LookupBatch is Classifier.LookupBatch recording statistics in the
+// handle's shard.
+func (hd *Handle) LookupBatch(hs []bitvec.Vec, now int64, out []BatchResult) int {
 	if len(hs) == 0 {
 		return 0
 	}
+	c := hd.c
 	c.maybeResort()
-	c.mu.RLock()
+	sn := c.snap.Load()
 	n := 0
 	for _, h := range hs {
-		e, probes, ok := c.lookupRLocked(h, now)
+		e, probes, _, ok := hd.lookupSnap(sn, h, now)
 		out[n] = BatchResult{Entry: e, Probes: probes, OK: ok}
 		n++
 		if !ok {
 			break
 		}
 	}
-	c.mu.RUnlock()
 	return n
 }
 
-// maybeResort restores hit-count order before a read-path scan. It briefly
-// takes the writer lock; OrderHash and OrderInsertion never enter it.
+// Stats returns the read-path counters recorded through this handle only
+// (its private shard): the per-worker share of lookups, hits, misses,
+// probes, and stage skips. Lifecycle counters (Inserted/Deleted) are
+// writer-side and always zero here; use Classifier.Stats for totals.
+func (hd *Handle) Stats() Stats {
+	return Stats{
+		Lookups:    atomic.LoadUint64(&hd.sh.lookups),
+		Hits:       atomic.LoadUint64(&hd.sh.hits),
+		Misses:     atomic.LoadUint64(&hd.sh.misses),
+		Probes:     atomic.LoadUint64(&hd.sh.probes),
+		StageSkips: atomic.LoadUint64(&hd.sh.stageSkips),
+	}
+}
+
+// maybeResort restores hit-count order before a read-path scan. At most
+// one reader performs the re-sort (TryLock); everyone else proceeds with
+// the current snapshot, so the read path never blocks on the writer lock.
+// OrderHash and OrderInsertion never enter it.
 func (c *Classifier) maybeResort() {
 	if c.opts.Order == OrderHitCount && c.dirty.Load() {
-		c.mu.Lock()
-		c.resortLocked()
-		c.mu.Unlock()
+		if c.mu.TryLock() {
+			c.resortLocked()
+			c.mu.Unlock()
+		}
 	}
 }
 
@@ -496,6 +838,23 @@ type ErrOverlap struct {
 
 func (e *ErrOverlap) Error() string {
 	return "tss: entry overlaps existing megaflow (Inv(2) violation)"
+}
+
+// mutableLocked returns a group safe to mutate under the writer lock plus
+// its scan position: the group itself if it has never been published,
+// else a clone wired into the writer-side index and scan list in its
+// place (copy-on-write; the published snapshot keeps the frozen
+// original). Callers must refresh c.probes[i] after mutating.
+func (c *Classifier) mutableLocked(g *group) (*group, int) {
+	i := c.indexOfLocked(g)
+	if !g.frozen {
+		return g, i
+	}
+	ng := g.clone()
+	c.byMask[ng.maskKey] = ng
+	c.groups[i] = ng
+	c.thawed = append(c.thawed, ng)
+	return ng, i
 }
 
 // Insert adds a megaflow at virtual time now. If an entry with the same
@@ -519,17 +878,14 @@ func (c *Classifier) Insert(e *Entry, now int64) error {
 			// Same key and mask: refresh by swapping in the new entry.
 			// Decision fields of a published entry are never mutated in
 			// place — concurrent lookups may still hold the old pointer
-			// lock-free — so the entry itself is replaced under the
-			// writer lock, carrying the hit count forward.
+			// lock-free — so the entry itself is replaced in a cloned
+			// group, carrying the hit count forward.
 			e.LastUsed = now
 			e.Hits = atomic.LoadUint64(&old.Hits)
+			g, gi := c.mutableLocked(g)
 			g.replace(old, e)
-			// The scan list inlines the entry pointer only for one-entry
-			// groups; multi-entry groups probe through g.slots, which
-			// replace already fixed in place.
-			if g.n == 1 {
-				c.rebuildScanLocked()
-			}
+			c.probes[gi] = buildProbe(g)
+			c.publishLocked()
 			return nil
 		}
 	}
@@ -538,18 +894,24 @@ func (c *Classifier) Insert(e *Entry, now int64) error {
 			return &ErrOverlap{Existing: ex}
 		}
 	}
+	e.LastUsed = now
 	if g == nil {
-		g = newGroup(e.Mask.Clone(), mk, c.nextSeq)
+		g = newGroup(e.Mask.Clone(), mk, c.nextSeq, c.stages)
 		c.nextSeq++
 		c.byMask[mk] = g
+		c.thawed = append(c.thawed, g)
+		g.put(e)
 		c.groups = append(c.groups, g)
 		c.placeLocked()
+	} else {
+		var gi int
+		g, gi = c.mutableLocked(g)
+		g.put(e)
+		c.probes[gi] = buildProbe(g)
 	}
-	e.LastUsed = now
-	g.put(e)
 	c.nEntry++
-	c.stats.Inserted++
-	c.rebuildScanLocked()
+	c.inserted++
+	c.publishLocked()
 	return nil
 }
 
@@ -581,13 +943,14 @@ func (c *Classifier) findOverlapLocked(e *Entry) *Entry {
 }
 
 // placeLocked restores the configured scan order after a group was
-// appended at the end of c.groups.
+// appended at the end of c.groups (its entries already in place), and
+// inserts the group's probe record into the mirror at the same position.
 func (c *Classifier) placeLocked() {
-	switch c.opts.Order {
-	case OrderHash:
+	g := c.groups[len(c.groups)-1]
+	pos := len(c.groups) - 1
+	if c.opts.Order == OrderHash {
 		// Binary-insert the appended group into hash order.
-		g := c.groups[len(c.groups)-1]
-		pos := sort.Search(len(c.groups)-1, func(i int) bool {
+		pos = sort.Search(len(c.groups)-1, func(i int) bool {
 			if c.groups[i].hash != g.hash {
 				return c.groups[i].hash > g.hash
 			}
@@ -595,22 +958,30 @@ func (c *Classifier) placeLocked() {
 		})
 		copy(c.groups[pos+1:], c.groups[pos:len(c.groups)-1])
 		c.groups[pos] = g
-	case OrderInsertion:
-		// Appending preserves insertion order.
-	case OrderHitCount:
+	}
+	c.probes = append(c.probes, scanProbe{})
+	copy(c.probes[pos+1:], c.probes[pos:len(c.probes)-1])
+	c.probes[pos] = buildProbe(g)
+	if c.opts.Order == OrderHitCount {
+		// Appended for now; the lazy resort restores hit-count order.
 		c.dirty.Store(true)
 	}
 }
 
-// resortLocked re-sorts hit-count order lazily.
+// resortLocked re-sorts hit-count order lazily, rebuilds the probe
+// mirror, and publishes the re-ordered snapshot.
 func (c *Classifier) resortLocked() {
 	if c.opts.Order != OrderHitCount || !c.dirty.Load() {
 		return
 	}
 	sort.SliceStable(c.groups, func(i, j int) bool {
-		return atomic.LoadUint64(&c.groups[i].hits) > atomic.LoadUint64(&c.groups[j].hits)
+		return atomic.LoadUint64(c.groups[i].hits) > atomic.LoadUint64(c.groups[j].hits)
 	})
-	c.rebuildScanLocked()
+	c.probes = c.probes[:0]
+	for _, g := range c.groups {
+		c.probes = append(c.probes, buildProbe(g))
+	}
+	c.publishLocked()
 	c.dirty.Store(false)
 }
 
@@ -623,20 +994,29 @@ func (c *Classifier) Delete(key, mask bitvec.Vec) bool {
 	if !ok {
 		return false
 	}
-	if !g.remove(key) {
+	if g.find(key) == nil {
 		return false
 	}
+	g, gi := c.mutableLocked(g)
+	g.remove(key)
 	c.nEntry--
-	c.stats.Deleted++
+	c.deleted++
 	if g.n == 0 {
-		c.dropGroupLocked(g)
-		c.rebuildScanLocked()
+		c.removeAtLocked(gi)
+	} else {
+		c.probes[gi] = buildProbe(g)
 	}
+	c.publishLocked()
 	return true
 }
 
 // DeleteWhere removes every entry for which pred returns true and returns
-// the number removed. MFCGuard's drop-entry wipe (§8) is built on this.
+// the number removed. MFCGuard's drop-entry wipe (§8) is built on this,
+// and vswitch.SweepMegaflows routes every megaflow-lifecycle sweep here:
+// the whole dump-and-delete runs on the writer side and publishes one
+// snapshot at the end, so concurrent readers scan the previous snapshot
+// undisturbed for the duration (the revalidator's dump never stalls the
+// fast path).
 func (c *Classifier) DeleteWhere(pred func(*Entry) bool) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -649,6 +1029,10 @@ func (c *Classifier) DeleteWhere(pred func(*Entry) bool) int {
 			}
 			return true
 		})
+		if len(victims) == 0 {
+			continue
+		}
+		g, gi := c.mutableLocked(g)
 		for _, k := range victims {
 			if g.remove(k) {
 				c.nEntry--
@@ -656,11 +1040,13 @@ func (c *Classifier) DeleteWhere(pred func(*Entry) bool) int {
 			}
 		}
 		if g.n == 0 {
-			c.dropGroupLocked(g)
+			c.removeAtLocked(gi)
+		} else {
+			c.probes[gi] = buildProbe(g)
 		}
 	}
-	c.rebuildScanLocked()
-	c.stats.Deleted += uint64(removed)
+	c.deleted += uint64(removed)
+	c.publishLocked()
 	return removed
 }
 
@@ -668,59 +1054,51 @@ func (c *Classifier) DeleteWhere(pred func(*Entry) bool) int {
 // megaflow idle timeout drives the recovery delay visible in Fig. 8a) and
 // returns the number evicted.
 func (c *Classifier) ExpireIdle(now, timeout int64) int {
-	return c.DeleteWhere(func(e *Entry) bool { return now-e.LastUsed >= timeout })
-}
-
-// dropGroupLocked removes an empty group from the scan list.
-func (c *Classifier) dropGroupLocked(g *group) {
-	delete(c.byMask, g.maskKey)
-	for i, gg := range c.groups {
-		if gg == g {
-			c.groups = append(c.groups[:i], c.groups[i+1:]...)
-			break
-		}
-	}
+	return c.DeleteWhere(func(e *Entry) bool { return now-e.LastUsedAt() >= timeout })
 }
 
 // MaskCount returns |M|, the number of distinct masks — the quantity the
-// TSE attack maximises.
+// TSE attack maximises. Lock-free snapshot read.
 func (c *Classifier) MaskCount() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.groups)
+	return len(c.snap.Load().probes)
 }
 
-// EntryCount returns |C|, the number of installed megaflows.
+// EntryCount returns |C|, the number of installed megaflows. Lock-free
+// snapshot read.
 func (c *Classifier) EntryCount() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.nEntry
+	return c.snap.Load().nEntry
 }
 
-// Stats returns a snapshot of the activity counters.
+// Stats returns a snapshot of the activity counters: the sum of every
+// handle's shard plus the writer-side lifecycle counters.
 func (c *Classifier) Stats() Stats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return Stats{
-		Lookups:  atomic.LoadUint64(&c.stats.Lookups),
-		Hits:     atomic.LoadUint64(&c.stats.Hits),
-		Misses:   atomic.LoadUint64(&c.stats.Misses),
-		Probes:   atomic.LoadUint64(&c.stats.Probes),
-		Inserted: atomic.LoadUint64(&c.stats.Inserted),
-		Deleted:  atomic.LoadUint64(&c.stats.Deleted),
+	var s Stats
+	c.shardsMu.Lock()
+	for _, sh := range c.shards {
+		s.Lookups += atomic.LoadUint64(&sh.lookups)
+		s.Hits += atomic.LoadUint64(&sh.hits)
+		s.Misses += atomic.LoadUint64(&sh.misses)
+		s.Probes += atomic.LoadUint64(&sh.probes)
+		s.StageSkips += atomic.LoadUint64(&sh.stageSkips)
 	}
+	c.shardsMu.Unlock()
+	c.mu.Lock()
+	s.Inserted, s.Deleted = c.inserted, c.deleted
+	c.mu.Unlock()
+	return s
 }
 
 // Entries returns a snapshot of all entries, mask-group by mask-group in
 // the current scan order. This is the equivalent of `ovs-dpctl dump-flows`
 // that MFCGuard's monitor consumes. The returned entries are copies:
-// mutating them does not affect the cache, and the snapshot stays coherent
-// while concurrent lookups update hit counters.
+// mutating them does not affect the cache. The dump is lock-free — it
+// walks the published snapshot, so it can run at any cadence without
+// stalling packet processing.
 func (c *Classifier) Entries() []*Entry {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]*Entry, 0, c.nEntry)
-	for _, g := range c.groups {
+	sn := c.snap.Load()
+	out := make([]*Entry, 0, sn.nEntry)
+	for k := range sn.probes {
+		g := sn.probes[k].g
 		start := len(out)
 		g.each(func(e *Entry) bool { out = append(out, snapshotEntry(e)); return true })
 		within := out[start:]
@@ -743,11 +1121,10 @@ func snapshotEntry(e *Entry) *Entry {
 
 // Masks returns a snapshot of the distinct masks in scan order.
 func (c *Classifier) Masks() []bitvec.Vec {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]bitvec.Vec, len(c.groups))
-	for i, g := range c.groups {
-		out[i] = g.mask.Clone()
+	sn := c.snap.Load()
+	out := make([]bitvec.Vec, len(sn.probes))
+	for i := range sn.probes {
+		out[i] = sn.probes[i].g.mask.Clone()
 	}
 	return out
 }
@@ -756,11 +1133,11 @@ func (c *Classifier) Masks() []bitvec.Vec {
 // per stanza — the `ovs-dpctl dump-flows` equivalent for interactive
 // debugging and the CLI tools.
 func (c *Classifier) Dump(w io.Writer, l *bitvec.Layout) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	for i, g := range c.groups {
+	sn := c.snap.Load()
+	for i := range sn.probes {
+		g := sn.probes[i].g
 		fmt.Fprintf(w, "mask %d/%d: %s (%d entries, %d hits)\n",
-			i+1, len(c.groups), g.mask.Format(l), g.n, atomic.LoadUint64(&g.hits))
+			i+1, len(sn.probes), g.mask.Format(l), g.n, atomic.LoadUint64(g.hits))
 		var es []*Entry
 		g.each(func(e *Entry) bool { es = append(es, snapshotEntry(e)); return true })
 		sort.Slice(es, func(a, b int) bool { return es[a].Key.Key() < es[b].Key.Key() })
@@ -777,11 +1154,10 @@ func (c *Classifier) Dump(w io.Writer, l *bitvec.Layout) {
 // the victim's traffic.
 func (c *Classifier) ProbePosition(mask bitvec.Vec) int {
 	c.maybeResort()
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	sn := c.snap.Load()
 	mk := mask.Key()
-	for i, g := range c.groups {
-		if g.maskKey == mk {
+	for i := range sn.probes {
+		if sn.probes[i].g.maskKey == mk {
 			return i + 1
 		}
 	}

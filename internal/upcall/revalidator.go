@@ -93,7 +93,7 @@ func (r *Revalidator) Tick(now int64) vswitch.SweepResult {
 func (r *Revalidator) Sweep(now int64) vswitch.SweepResult {
 	if !r.sw.NeedsRevalidation() {
 		res := r.sw.SweepMegaflows(func(e *tss.Entry) vswitch.SweepDecision {
-			if now-e.LastUsed >= r.timeout {
+			if now-e.LastUsedAt() >= r.timeout {
 				return vswitch.SweepExpire
 			}
 			return vswitch.SweepKeep
@@ -104,7 +104,7 @@ func (r *Revalidator) Sweep(now int64) vswitch.SweepResult {
 	seq := r.sw.GenSeq()
 	gen := r.sw.Generator()
 	res := r.sw.SweepMegaflows(func(e *tss.Entry) vswitch.SweepDecision {
-		if now-e.LastUsed >= r.timeout {
+		if now-e.LastUsedAt() >= r.timeout {
 			return vswitch.SweepExpire
 		}
 		if !vswitch.Revalidate(gen, e) {

@@ -8,6 +8,7 @@ package vswitch_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"tse/internal/bitvec"
@@ -110,6 +111,97 @@ func TestSwitchConcurrentProcess(t *testing.T) {
 	st := sw.MFC().Stats()
 	if st.Lookups != st.Hits+st.Misses {
 		t.Errorf("MFC lookups %d != hits %d + misses %d", st.Lookups, st.Hits, st.Misses)
+	}
+}
+
+// TestSwitchConcurrentSwapAndSweep hammers the lock-free read path while
+// the slow-path generation is swapped (SwapTable — an atomic pointer
+// swap), revalidation sweeps regenerate-check the whole cache, and idle
+// expiry runs: readers must only ever observe fully consistent snapshots.
+// The invariant checked per lookup is semantic: the victim flow is allowed
+// by every generation of the table, so its verdict action must never
+// change, whichever snapshot or generation a reader lands on; and the
+// classifier's counters stay monotonic throughout. Run with -race.
+func TestSwitchConcurrentSwapAndSweep(t *testing.T) {
+	tbl := flowtable.UseCaseACL(flowtable.SipDp, flowtable.ACLParams{})
+	sw, err := vswitch.New(vswitch.Config{Table: tbl, DisableMicroflow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.CoLocated(tbl, core.CoLocatedOptions{Noise: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := tr.Headers[0] // replay below guarantees it is classified
+	core.Replay(sw, tr, 0)
+	want := sw.Process(victim, 0).Action
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out := make([]vswitch.Verdict, 32)
+			for i := 0; !stop.Load(); i++ {
+				v := sw.Process(victim, int64(i%5))
+				if v.Action != want {
+					t.Errorf("reader %d: victim verdict flipped to %v (path %v)", r, v.Action, v.Path)
+					return
+				}
+				if r%2 == 1 {
+					end := (i * 32) % (len(tr.Headers) - 32)
+					sw.ProcessBatch(tr.Headers[end:end+32], int64(i%5), out)
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last tss.Stats
+		for !stop.Load() {
+			s := sw.MFC().Stats()
+			if s.Lookups < last.Lookups || s.Probes < last.Probes ||
+				s.Inserted < last.Inserted || s.Deleted < last.Deleted {
+				t.Errorf("classifier stats went backwards: %+v after %+v", s, last)
+				return
+			}
+			last = s
+		}
+	}()
+	for i := 0; i < 60; i++ {
+		switch i % 3 {
+		case 0:
+			// Swap without inline revalidation: readers keep classifying
+			// against the published snapshot; the sweep below reconciles.
+			if err := sw.SwapTable(tbl); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			// Revalidator-style sweep: regenerate-check every entry under
+			// the current generation, expire nothing (fresh stamps).
+			seq := sw.GenSeq()
+			gen := sw.Generator()
+			sw.SweepMegaflows(func(e *tss.Entry) vswitch.SweepDecision {
+				if !vswitch.Revalidate(gen, e) {
+					return vswitch.SweepInvalidate
+				}
+				return vswitch.SweepKeep
+			})
+			sw.MarkRevalidated(seq)
+		case 2:
+			if _, err := sw.ReplaceTable(tbl); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	// The same-table swaps must not have invalidated the victim's entry
+	// class: it still classifies identically after the churn.
+	if got := sw.Process(victim, 0).Action; got != want {
+		t.Errorf("victim verdict after churn = %v, want %v", got, want)
 	}
 }
 
