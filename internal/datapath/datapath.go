@@ -55,8 +55,8 @@ type Config struct {
 	// always hit the EMC and never observe the megaflow scan cost.
 	DisableEMC bool
 	// Upcall enables the asynchronous slow path: a full-scan megaflow
-	// miss is submitted to the per-worker upcall queues (source = worker
-	// index) instead of classified inline in the worker. With
+	// miss is submitted to the per-port upcall queues (source = ingress
+	// vport) instead of classified inline in the worker. With
 	// Options.Handlers > 0 the pool starts that many handler goroutines
 	// at New — stop them with Close — and workers block on their bursts'
 	// tickets; with Handlers == 0 each admitted upcall is drained
@@ -65,6 +65,22 @@ type Config struct {
 	// when queues are unbounded and no quota is set. nil keeps the inline
 	// slow path.
 	Upcall *upcall.Options
+	// Ports is the number of ingress vports feeding the pool; <= 0
+	// selects Workers (one vport per worker, the legacy shape, which
+	// keeps port-oblivious dispatch exactly as before). Vports are pinned
+	// to workers round-robin — port p's packets always run on worker
+	// p % Workers, OVS's rxq-to-PMD assignment — and the upcall
+	// subsystem's queues and admission quotas are keyed by port, the
+	// granularity OVS rate-limits at. Callers name each packet's ingress
+	// port via the ProcessBatch*Ports entry points; the port-less entry
+	// points derive a port from the RSS hash.
+	Ports int
+	// SourceByWorker keys upcall admission on the worker index instead of
+	// the ingress port: the pre-vport behaviour, kept as an ablation. A
+	// victim port sharing a PMD worker with a flooding port then shares
+	// its admission quota — the fairness gap the port dimension fixes,
+	// and what the portfairness experiment measures.
+	SourceByWorker bool
 }
 
 // WorkerStats aggregates one worker's activity.
@@ -96,6 +112,26 @@ type WorkerStats struct {
 	// Stats/Totals so multicore runs report cache behaviour without
 	// poking each worker.
 	EMC microflow.Stats
+	// Ports splits the worker's counters by ingress vport, indexed by
+	// port id (Totals sums them element-wise across workers, giving the
+	// per-vport view). Decided packets land in Allowed/Dropped; a
+	// deferred still-pending packet counts only in Packets.
+	Ports []PortStats
+}
+
+// PortStats is one ingress vport's share of a worker's activity — and,
+// summed across workers, the vport's pool-wide ledger. This is the
+// granularity the fairness story runs at: a victim port's Upcalls and
+// UpcallDrops tell whether the flood ate its admission budget.
+type PortStats struct {
+	// Packets counts packets that arrived on the port.
+	Packets uint64
+	// Allowed and Dropped partition the port's decided packets (a refused
+	// upcall counts as Dropped).
+	Allowed, Dropped uint64
+	// Upcalls counts the port's admitted or coalesced flow misses;
+	// UpcallDrops counts its misses refused at admission.
+	Upcalls, UpcallDrops uint64
 }
 
 // Pool is a set of PMD workers sharing one switch. A pool is driven by a
@@ -103,12 +139,14 @@ type WorkerStats struct {
 // other (the parallelism lives inside ProcessBatch, where the workers of
 // one dispatch run concurrently against the shared switch).
 type Pool struct {
-	sw       *vswitch.Switch
-	batch    int
-	workers  []*worker
-	assign   []int // per-header worker index of the latest dispatch
-	up       *upcall.Subsystem
-	handlers bool // async mode runs handler goroutines (vs drive mode)
+	sw          *vswitch.Switch
+	batch       int
+	ports       int
+	workers     []*worker
+	assign      []int // per-header worker index of the latest dispatch
+	up          *upcall.Subsystem
+	handlers    bool // async mode runs handler goroutines (vs drive mode)
+	srcByWorker bool // ablation: upcall source = worker, not port
 }
 
 // worker is one PMD: a private EMC, a private classifier handle (lock-free
@@ -116,21 +154,24 @@ type Pool struct {
 // buffers. Only its own goroutine (or the serial driver) touches it during
 // a dispatch.
 type worker struct {
-	id    int
-	emc   *microflow.Cache
-	mfc   *tss.Handle
-	stats WorkerStats
+	id        int
+	emc       *microflow.Cache
+	mfc       *tss.Handle
+	stats     WorkerStats
+	portStats []PortStats // indexed by port id; ports are worker-pinned
 
 	// Per-dispatch shard and per-burst scratch buffers, reused across
 	// calls to keep the hot path allocation-free.
-	shardHs  []bitvec.Vec
-	shardIdx []int
-	emcRes   []microflow.Result
-	emcOK    []bool
-	missHs   []bitvec.Vec
-	missIdx  []int
-	verdicts []vswitch.Verdict
-	tickets  []pendingTicket
+	shardHs    []bitvec.Vec
+	shardIdx   []int
+	shardPorts []int
+	emcRes     []microflow.Result
+	emcOK      []bool
+	missHs     []bitvec.Vec
+	missIdx    []int
+	missPorts  []int
+	verdicts   []vswitch.Verdict
+	tickets    []pendingTicket
 }
 
 // pendingTicket is one in-flight upcall of the current burst: the ticket
@@ -151,16 +192,25 @@ func New(cfg Config) (*Pool, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = DefaultBatchSize
 	}
-	p := &Pool{sw: cfg.Switch, batch: cfg.BatchSize}
+	if cfg.Ports <= 0 {
+		cfg.Ports = cfg.Workers
+	}
+	p := &Pool{sw: cfg.Switch, batch: cfg.BatchSize, ports: cfg.Ports,
+		srcByWorker: cfg.SourceByWorker}
 	for i := 0; i < cfg.Workers; i++ {
-		w := &worker{id: i, mfc: cfg.Switch.MFC().NewHandle()}
+		w := &worker{id: i, mfc: cfg.Switch.MFC().NewHandle(),
+			portStats: make([]PortStats, cfg.Ports)}
 		if !cfg.DisableEMC {
 			w.emc = microflow.New(cfg.EMCCapacity)
 		}
 		p.workers = append(p.workers, w)
 	}
 	if cfg.Upcall != nil {
-		up, err := upcall.New(cfg.Switch, cfg.Workers, *cfg.Upcall)
+		sources := cfg.Ports
+		if cfg.SourceByWorker {
+			sources = cfg.Workers
+		}
+		up, err := upcall.New(cfg.Switch, sources, *cfg.Upcall)
 		if err != nil {
 			return nil, err
 		}
@@ -188,14 +238,30 @@ func (p *Pool) Close() {
 // Workers returns the worker count.
 func (p *Pool) Workers() int { return len(p.workers) }
 
+// Ports returns the ingress vport count.
+func (p *Pool) Ports() int { return p.ports }
+
 // Switch returns the shared switch.
 func (p *Pool) Switch() *vswitch.Switch { return p.sw }
 
-// WorkerFor returns the worker index RSS dispatch steers header h to. The
-// mapping is a pure function of the header bits, so a flow's packets
-// always land on the same worker (and the same private EMC).
+// PortWorker returns the worker vport port is pinned to: p % Workers, the
+// round-robin rxq-to-PMD assignment. All of a port's packets run on this
+// worker.
+func (p *Pool) PortWorker(port int) int { return port % len(p.workers) }
+
+// PortOf returns the vport the port-less dispatch entry points derive for
+// header h from its RSS hash. With Ports == Workers (the default) the
+// resulting PortWorker mapping is identical to the pre-vport RSS dispatch.
+func (p *Pool) PortOf(h bitvec.Vec) int {
+	return int(h.Hash() % uint64(p.ports))
+}
+
+// WorkerFor returns the worker index dispatch steers header h to when no
+// explicit ingress port is given (RSS-derived port, then the port's pinned
+// worker). The mapping is a pure function of the header bits, so a flow's
+// packets always land on the same worker (and the same private EMC).
 func (p *Pool) WorkerFor(h bitvec.Vec) int {
-	return int(h.Hash() % uint64(len(p.workers)))
+	return p.PortWorker(p.PortOf(h))
 }
 
 // ProcessBatch dispatches a batch of headers across the workers by RSS
@@ -209,7 +275,16 @@ func (p *Pool) WorkerFor(h bitvec.Vec) int {
 // positions). Use ProcessBatchSerial where bit-exact reproducibility
 // matters, e.g. the paper-figure simulations.
 func (p *Pool) ProcessBatch(hs []bitvec.Vec, now int64, out []vswitch.Verdict) []vswitch.Verdict {
-	out = p.shard(hs, out)
+	return p.ProcessBatchPorts(nil, hs, now, out)
+}
+
+// ProcessBatchPorts is ProcessBatch with each packet's ingress vport named
+// explicitly: ports[i] is the vport hs[i] arrived on (nil derives ports
+// from the RSS hash). Packets run on their port's pinned worker, per-port
+// counters accrue, and — in async mode — upcalls are admitted against the
+// port's own queue and quota.
+func (p *Pool) ProcessBatchPorts(ports []int, hs []bitvec.Vec, now int64, out []vswitch.Verdict) []vswitch.Verdict {
+	out = p.shard(ports, hs, out)
 	var wg sync.WaitGroup
 	for _, w := range p.workers {
 		if len(w.shardHs) == 0 {
@@ -230,7 +305,13 @@ func (p *Pool) ProcessBatch(hs []bitvec.Vec, now int64, out []vswitch.Verdict) [
 // models per-core parallelism through per-core CPU budgets, so it does not
 // need (and cannot afford, reproducibility-wise) real concurrency.
 func (p *Pool) ProcessBatchSerial(hs []bitvec.Vec, now int64, out []vswitch.Verdict) []vswitch.Verdict {
-	out = p.shard(hs, out)
+	return p.ProcessBatchSerialPorts(nil, hs, now, out)
+}
+
+// ProcessBatchSerialPorts is ProcessBatchSerial with explicit ingress
+// vports (see ProcessBatchPorts).
+func (p *Pool) ProcessBatchSerialPorts(ports []int, hs []bitvec.Vec, now int64, out []vswitch.Verdict) []vswitch.Verdict {
+	out = p.shard(ports, hs, out)
 	for _, w := range p.workers {
 		if len(w.shardHs) == 0 {
 			continue
@@ -249,10 +330,16 @@ func (p *Pool) ProcessBatchSerial(hs []bitvec.Vec, now int64, out []vswitch.Verd
 // per-second handler budget via Upcalls().HandleN. On an inline pool it
 // falls back to ProcessBatchSerial.
 func (p *Pool) ProcessBatchDeferred(hs []bitvec.Vec, now int64, out []vswitch.Verdict) []vswitch.Verdict {
+	return p.ProcessBatchDeferredPorts(nil, hs, now, out)
+}
+
+// ProcessBatchDeferredPorts is ProcessBatchDeferred with explicit ingress
+// vports (see ProcessBatchPorts).
+func (p *Pool) ProcessBatchDeferredPorts(ports []int, hs []bitvec.Vec, now int64, out []vswitch.Verdict) []vswitch.Verdict {
 	if p.up == nil {
-		return p.ProcessBatchSerial(hs, now, out)
+		return p.ProcessBatchSerialPorts(ports, hs, now, out)
 	}
-	out = p.shard(hs, out)
+	out = p.shard(ports, hs, out)
 	for _, w := range p.workers {
 		if len(w.shardHs) == 0 {
 			continue
@@ -262,9 +349,14 @@ func (p *Pool) ProcessBatchDeferred(hs []bitvec.Vec, now int64, out []vswitch.Ve
 	return out
 }
 
-// shard steers each header to its RSS worker, filling the per-worker
-// shard buffers, and returns out resized to len(hs).
-func (p *Pool) shard(hs []bitvec.Vec, out []vswitch.Verdict) []vswitch.Verdict {
+// shard steers each header to its port's worker, filling the per-worker
+// shard buffers, and returns out resized to len(hs). ports names each
+// header's ingress vport; nil derives ports from the RSS hash (flow-sticky
+// dispatch, the port-oblivious legacy shape).
+func (p *Pool) shard(ports []int, hs []bitvec.Vec, out []vswitch.Verdict) []vswitch.Verdict {
+	if ports != nil && len(ports) != len(hs) {
+		panic("datapath: ports and headers length mismatch")
+	}
 	if cap(out) < len(hs) {
 		out = make([]vswitch.Verdict, len(hs))
 	}
@@ -272,17 +364,28 @@ func (p *Pool) shard(hs []bitvec.Vec, out []vswitch.Verdict) []vswitch.Verdict {
 	for _, w := range p.workers {
 		w.shardHs = w.shardHs[:0]
 		w.shardIdx = w.shardIdx[:0]
+		w.shardPorts = w.shardPorts[:0]
 	}
 	if cap(p.assign) < len(hs) {
 		p.assign = make([]int, len(hs))
 	}
 	p.assign = p.assign[:len(hs)]
 	for i, h := range hs {
-		wi := p.WorkerFor(h)
+		var port int
+		if ports != nil {
+			port = ports[i]
+			if port < 0 || port >= p.ports {
+				panic(fmt.Sprintf("datapath: port %d out of range [0,%d)", port, p.ports))
+			}
+		} else {
+			port = p.PortOf(h)
+		}
+		wi := p.PortWorker(port)
 		p.assign[i] = wi
 		w := p.workers[wi]
 		w.shardHs = append(w.shardHs, h)
 		w.shardIdx = append(w.shardIdx, i)
+		w.shardPorts = append(w.shardPorts, port)
 	}
 	return out
 }
@@ -302,7 +405,8 @@ func (w *worker) run(p *Pool, now int64, out []vswitch.Verdict, deferred bool) {
 		if end > len(w.shardHs) {
 			end = len(w.shardHs)
 		}
-		w.burst(p, w.shardHs[start:end], w.shardIdx[start:end], now, out, deferred)
+		w.burst(p, w.shardHs[start:end], w.shardIdx[start:end],
+			w.shardPorts[start:end], now, out, deferred)
 	}
 }
 
@@ -313,27 +417,31 @@ func (w *worker) run(p *Pool, now int64, out []vswitch.Verdict, deferred bool) {
 // slow-path calls: drive mode (no handler goroutines) drains each one
 // synchronously, handler mode submits and waits for the burst's tickets,
 // and deferred mode submits without waiting.
-func (w *worker) burst(p *Pool, hs []bitvec.Vec, idx []int, now int64, out []vswitch.Verdict, deferred bool) {
+func (w *worker) burst(p *Pool, hs []bitvec.Vec, idx, ports []int, now int64, out []vswitch.Verdict, deferred bool) {
 	w.stats.Packets += uint64(len(hs))
-	missHs, missIdx := hs, idx
+	for _, port := range ports {
+		w.portStats[port].Packets++
+	}
+	missHs, missIdx, missPorts := hs, idx, ports
 	if w.emc != nil {
 		w.emcRes = growRes(w.emcRes, len(hs))
 		w.emcOK = growOK(w.emcOK, len(hs))
 		w.emc.LookupBatch(hs, w.emcRes, w.emcOK)
-		w.missHs, w.missIdx = w.missHs[:0], w.missIdx[:0]
+		w.missHs, w.missIdx, w.missPorts = w.missHs[:0], w.missIdx[:0], w.missPorts[:0]
 		for i := range hs {
 			if w.emcOK[i] {
 				v := vswitch.Verdict{Action: w.emcRes[i].Action,
 					OutPort: w.emcRes[i].OutPort, Path: vswitch.PathMicroflow}
 				out[idx[i]] = v
 				w.stats.EMCHits++
-				w.tally(v)
+				w.tally(v, ports[i])
 				continue
 			}
 			w.missHs = append(w.missHs, hs[i])
 			w.missIdx = append(w.missIdx, idx[i])
+			w.missPorts = append(w.missPorts, ports[i])
 		}
-		missHs, missIdx = w.missHs, w.missIdx
+		missHs, missIdx, missPorts = w.missHs, w.missIdx, w.missPorts
 	}
 	if len(missHs) == 0 {
 		return
@@ -344,7 +452,7 @@ func (w *worker) burst(p *Pool, hs []bitvec.Vec, idx []int, now int64, out []vsw
 	} else {
 		w.tickets = w.tickets[:0]
 		p.sw.ProcessBatchOn(w.mfc, missHs, now, w.verdicts, func(i, probes int) vswitch.Verdict {
-			return w.miss(p, missHs[i], now, i, probes, deferred)
+			return w.miss(p, missHs[i], missPorts[i], now, i, probes, deferred)
 		})
 		for _, pt := range w.tickets {
 			w.verdicts[pt.idx] = pt.t.Wait()
@@ -365,11 +473,11 @@ func (w *worker) burst(p *Pool, hs []bitvec.Vec, idx []int, now int64, out []vsw
 		case vswitch.PathUpcallDrop:
 			// Refused at admission: the packet is dropped on the floor.
 			w.stats.Probes += uint64(v.Probes)
-			w.tally(v)
+			w.tally(v, missPorts[i])
 			continue
 		}
 		w.stats.Probes += uint64(v.Probes)
-		w.tally(v)
+		w.tally(v, missPorts[i])
 		if w.emc != nil {
 			// The EMC clones internally; no per-packet Clone here.
 			w.emc.Insert(missHs[i],
@@ -378,38 +486,50 @@ func (w *worker) burst(p *Pool, hs []bitvec.Vec, idx []int, now int64, out []vsw
 	}
 }
 
-// miss turns one full-scan megaflow miss into an upcall, in the mode the
-// dispatch selected. The verdicts it returns for admitted upcalls in
-// handler/deferred mode are placeholders: handler mode overwrites them
+// miss turns one full-scan megaflow miss from ingress vport port into an
+// upcall, in the mode the dispatch selected. The upcall is admitted
+// against the port's queue and quota (or the worker's, under the
+// SourceByWorker ablation). The verdicts it returns for admitted upcalls
+// in handler/deferred mode are placeholders: handler mode overwrites them
 // when the burst's tickets resolve, deferred mode leaves them pending.
-func (w *worker) miss(p *Pool, h bitvec.Vec, now int64, i, probes int, deferred bool) vswitch.Verdict {
+func (w *worker) miss(p *Pool, h bitvec.Vec, port int, now int64, i, probes int, deferred bool) vswitch.Verdict {
+	src := port
+	if p.srcByWorker {
+		src = w.id
+	}
 	if !deferred && !p.handlers {
 		// Drive mode: submit and drain synchronously.
-		v, o := p.up.SubmitSync(w.id, h, now)
+		v, o := p.up.SubmitSync(src, h, now)
 		if o.Dropped() {
 			w.stats.UpcallDrops++
+			w.portStats[port].UpcallDrops++
 			return vswitch.Verdict{Action: flowtable.Drop, Path: vswitch.PathUpcallDrop, Probes: probes}
 		}
 		w.stats.Upcalls++
+		w.portStats[port].Upcalls++
 		return v
 	}
-	t, o := p.up.Submit(w.id, h, now)
+	t, o := p.up.Submit(src, h, now)
 	if o.Dropped() {
 		w.stats.UpcallDrops++
+		w.portStats[port].UpcallDrops++
 		return vswitch.Verdict{Action: flowtable.Drop, Path: vswitch.PathUpcallDrop, Probes: probes}
 	}
 	w.stats.Upcalls++
+	w.portStats[port].Upcalls++
 	if !deferred {
 		w.tickets = append(w.tickets, pendingTicket{t: t, idx: i})
 	}
 	return vswitch.Verdict{Path: vswitch.PathUpcallPending, Probes: probes}
 }
 
-func (w *worker) tally(v vswitch.Verdict) {
+func (w *worker) tally(v vswitch.Verdict, port int) {
 	if v.Action == flowtable.Drop {
 		w.stats.Dropped++
+		w.portStats[port].Dropped++
 	} else {
 		w.stats.Allowed++
+		w.portStats[port].Allowed++
 	}
 }
 
@@ -423,11 +543,11 @@ func (p *Pool) Stats() []WorkerStats {
 	return out
 }
 
-// Totals sums the per-worker stats, EMC cache counters included, so
-// multicore runs report aggregate cache hits/misses/evictions without
-// poking each worker.
+// Totals sums the per-worker stats, EMC cache counters and per-port
+// splits included, so multicore runs report aggregate cache behaviour and
+// the per-vport ledger without poking each worker.
 func (p *Pool) Totals() WorkerStats {
-	var t WorkerStats
+	t := WorkerStats{Ports: make([]PortStats, p.ports)}
 	for _, w := range p.workers {
 		s := w.snapshot()
 		t.Packets += s.Packets
@@ -443,18 +563,31 @@ func (p *Pool) Totals() WorkerStats {
 		t.EMC.Hits += s.EMC.Hits
 		t.EMC.Misses += s.EMC.Misses
 		t.EMC.Evictions += s.EMC.Evictions
+		for i, ps := range s.Ports {
+			t.Ports[i].Packets += ps.Packets
+			t.Ports[i].Allowed += ps.Allowed
+			t.Ports[i].Dropped += ps.Dropped
+			t.Ports[i].Upcalls += ps.Upcalls
+			t.Ports[i].UpcallDrops += ps.UpcallDrops
+		}
 	}
 	return t
 }
 
-// snapshot copies the worker's counters with the live EMC stats and the
-// classifier handle's stage-skip count attached.
+// PortStats returns the pool-wide per-vport ledger, indexed by port id.
+func (p *Pool) PortStats() []PortStats {
+	return p.Totals().Ports
+}
+
+// snapshot copies the worker's counters with the live EMC stats, the
+// classifier handle's stage-skip count, and the per-port split attached.
 func (w *worker) snapshot() WorkerStats {
 	s := w.stats
 	if w.emc != nil {
 		s.EMC = w.emc.Stats()
 	}
 	s.StageSkips = w.mfc.Stats().StageSkips
+	s.Ports = append([]PortStats(nil), w.portStats...)
 	return s
 }
 

@@ -1,0 +1,159 @@
+// Tests for the first-class vport layer: port-pinned dispatch, per-port
+// counters, and the fairness invariant — a victim port sharing a PMD
+// worker with a flooding port keeps its full admission quota.
+package datapath_test
+
+import (
+	"testing"
+
+	"tse/internal/bitvec"
+	"tse/internal/core"
+	"tse/internal/datapath"
+	"tse/internal/flowtable"
+	"tse/internal/upcall"
+	"tse/internal/vswitch"
+)
+
+func newPortPool(t testing.TB, workers, ports int, byWorker bool, opts *upcall.Options) *datapath.Pool {
+	t.Helper()
+	tbl := flowtable.UseCaseACL(flowtable.SipDp, flowtable.ACLParams{})
+	sw, err := vswitch.New(vswitch.Config{Table: tbl, DisableMicroflow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := datapath.New(datapath.Config{
+		Switch: sw, Workers: workers, Ports: ports, SourceByWorker: byWorker,
+		DisableEMC: true, Upcall: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPortPinnedDispatch: explicit ingress ports steer every packet to the
+// port's pinned worker (port % workers) and split the counters per port.
+func TestPortPinnedDispatch(t *testing.T) {
+	pool := newPortPool(t, 2, 4, false, nil)
+	flows := benignFlows(32)
+	ports := make([]int, len(flows))
+	for i := range ports {
+		ports[i] = i % 4
+	}
+	pool.ProcessBatchSerialPorts(ports, flows, 0, nil)
+	for i, wi := range pool.Assignments() {
+		if want := ports[i] % 2; wi != want {
+			t.Fatalf("packet %d on port %d ran on worker %d, want pinned worker %d",
+				i, ports[i], wi, want)
+		}
+	}
+	ps := pool.PortStats()
+	if len(ps) != 4 {
+		t.Fatalf("PortStats has %d ports, want 4", len(ps))
+	}
+	for port, s := range ps {
+		if s.Packets != 8 {
+			t.Errorf("port %d saw %d packets, want 8", port, s.Packets)
+		}
+		if s.Allowed+s.Dropped != s.Packets {
+			t.Errorf("port %d verdicts %d+%d do not cover its %d packets",
+				port, s.Allowed, s.Dropped, s.Packets)
+		}
+	}
+	// The port-less entry point still works and is flow-sticky.
+	pool.ProcessBatchSerial(flows, 1, nil)
+	for i, wi := range pool.Assignments() {
+		if want := pool.WorkerFor(flows[i]); wi != want {
+			t.Fatalf("RSS packet %d on worker %d, want %d", i, wi, want)
+		}
+	}
+}
+
+// TestVictimPortKeepsQuota is the fairness invariant satellite, the exact
+// bug this refactor fixes: with port-keyed admission, a victim vport
+// sharing its one PMD worker with a flooding vport keeps its full
+// per-second quota; under the legacy worker-keyed ablation the same flood
+// starves it completely.
+func TestVictimPortKeepsQuota(t *testing.T) {
+	tbl := flowtable.UseCaseACL(flowtable.SipDp, flowtable.ACLParams{})
+	tr, err := core.CoLocated(tbl, core.CoLocatedOptions{Noise: true, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flood := tr.Headers[:64]
+	victim := benignFlows(4)
+
+	// One shared dispatch: the flood (port 0) ahead of the victim's flow
+	// setups (port 1), all on the single worker.
+	hs := append(append([]bitvec.Vec(nil), flood...), victim...)
+	ports := make([]int, len(hs))
+	for i := len(flood); i < len(hs); i++ {
+		ports[i] = 1
+	}
+
+	for _, byWorker := range []bool{false, true} {
+		pool := newPortPool(t, 1, 2, byWorker, &upcall.Options{QuotaPerSource: 4})
+		pool.ProcessBatchDeferredPorts(ports, hs, 0, nil)
+		ps := pool.PortStats()
+		if ps[0].UpcallDrops == 0 {
+			t.Errorf("byWorker=%v: flooding port recorded no drops", byWorker)
+		}
+		if byWorker {
+			// Legacy: the flood exhausted the shared worker bucket before
+			// the victim's setups arrived.
+			if ps[1].Upcalls != 0 || ps[1].UpcallDrops != 4 {
+				t.Errorf("worker-keyed ablation: victim port stats %+v, want 0 admitted / 4 dropped", ps[1])
+			}
+		} else {
+			// Port-keyed: the victim's own bucket is untouched by the flood.
+			if ps[1].Upcalls != 4 || ps[1].UpcallDrops != 0 {
+				t.Errorf("port-keyed: victim port stats %+v, want 4 admitted / 0 dropped", ps[1])
+			}
+		}
+	}
+}
+
+// TestPortSubmitsParallel exercises concurrent per-port submission under
+// -race: four workers submit from eight ports into the port-keyed queues
+// while handler goroutines drain in batches.
+func TestPortSubmitsParallel(t *testing.T) {
+	pool := newPortPool(t, 4, 8, false, &upcall.Options{Handlers: 2})
+	defer pool.Close()
+	tbl := pool.Switch().FlowTable()
+	tr, err := core.CoLocated(tbl, core.CoLocatedOptions{Noise: true, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := tr.Headers
+	ports := make([]int, len(hs))
+	for i := range ports {
+		ports[i] = i % 8
+	}
+	out := pool.ProcessBatchPorts(ports, hs, 0, nil)
+	for i, v := range out {
+		if v.Path == vswitch.PathUpcallPending || v.Path == vswitch.PathUpcallDrop {
+			t.Fatalf("packet %d unresolved: %v", i, v.Path)
+		}
+	}
+	tot := pool.Totals()
+	if tot.Upcalls == 0 {
+		t.Fatal("no upcalls recorded")
+	}
+	var perPort uint64
+	for _, ps := range tot.Ports {
+		perPort += ps.Upcalls
+	}
+	if perPort != tot.Upcalls {
+		t.Errorf("per-port upcalls sum %d != total %d", perPort, tot.Upcalls)
+	}
+	// Megaflows carry their installing port.
+	seen := make(map[int]bool)
+	for _, e := range pool.Switch().MFC().Entries() {
+		seen[e.Port] = true
+		if e.Port < 0 || e.Port >= 8 {
+			t.Fatalf("megaflow attributed to out-of-range port %d", e.Port)
+		}
+	}
+	if len(seen) < 2 {
+		t.Errorf("megaflows attributed to only %d ports", len(seen))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"tse/internal/core"
 	"tse/internal/flowtable"
 	"tse/internal/tss"
+	"tse/internal/upcall"
 	"tse/internal/vswitch"
 )
 
@@ -242,13 +243,18 @@ func SaturationScenario(workers int, bounded bool) (*Scenario, error) {
 	name := "Saturation-SipSpDp-unbounded"
 	if bounded {
 		// Tuned so every defense layer is visible in the series: the
-		// quota admits more than the handlers serve (backlog grows and
-		// the handler budget saturates), the backlog hits the queue bound
-		// (queue drops), and the quota refuses the bulk of the flood.
+		// per-port quota admits more than the handlers serve (backlog
+		// grows and the handler budget saturates), the backlog hits the
+		// queue bound (queue drops), and the quota refuses the bulk of
+		// the flood.
 		up.QueueCap = 128
-		up.QuotaPerWorker = 64
-		up.HandledPerSec = 64
-		name = "Saturation-SipSpDp-bounded"
+		up.QuotaPerPort = 64
+		up.HandledPerSec = 32
+		// The handler budget is in the name: tuned parameters would
+		// otherwise make same-named BENCH trajectory rows compare
+		// different configurations across PRs (the budget was 64 through
+		// BENCH_pr4).
+		name = "Saturation-SipSpDp-bounded-h32"
 	}
 	return &Scenario{
 		Name:        fmt.Sprintf("%s-%dw", name, workers),
@@ -258,6 +264,131 @@ func SaturationScenario(workers int, bounded bool) (*Scenario, error) {
 		Phases:      []AttackPhase{{Trace: trace, RatePps: 1000, StartSec: 5, StopSec: 35}},
 		DurationSec: 45,
 		Workers:     workers,
+		Upcall:      up,
+	}, nil
+}
+
+// PortFairnessMode selects how PortFairnessScenario keys and sizes the
+// upcall admission quotas.
+type PortFairnessMode string
+
+const (
+	// FairnessWorkerKeyed is the legacy ablation: quotas keyed on the PMD
+	// worker, so the victims share the flooding port's bucket.
+	FairnessWorkerKeyed PortFairnessMode = "workerkeyed"
+	// FairnessPortKeyed keys a static quota on the ingress vport.
+	FairnessPortKeyed PortFairnessMode = "portkeyed"
+	// FairnessAdaptive is port-keyed with the revalidator feedback loop
+	// shrinking the flooding port's quota.
+	FairnessAdaptive PortFairnessMode = "adaptive"
+)
+
+// churnACL returns the SipSpDp ACL with a top-priority allow rule for an
+// unused transport source port prepended. Swapping between this table and
+// the plain one is semantically invisible to every flow in the scenario
+// (nothing sends from port 55555) but changes the megaflow every walk
+// generates — rule #0 unwildcards tp_src at the top of each walk — so the
+// revalidator invalidates the whole cache at the next sweep: the OpenFlow
+// policy-churn event that forces every flow, victims included, to
+// re-establish through the slow path while the flood rages.
+func churnACL() *flowtable.Table {
+	l := bitvec.IPv4Tuple
+	t := flowtable.UseCaseACL(flowtable.SipSpDp, flowtable.ACLParams{})
+	sp, _ := l.FieldIndex("tp_src")
+	key := bitvec.NewVec(l)
+	key.SetField(l, sp, 55555)
+	t.MustAdd(&flowtable.Rule{Name: "#0", Priority: 50, Action: flowtable.Allow,
+		Key: key, Mask: bitvec.FieldMask(l, sp)})
+	return t
+}
+
+// PortFairnessScenario builds the per-port fairness experiment: one PMD
+// worker shared by three vports — the attacker on vport 0 replaying a
+// SipSpDp tuple-space-exploding flood, an established victim on vport 1,
+// and a late victim on vport 2 that joins mid-flood. The victims' probes
+// land mid-second, after half the flood, as they would in any real
+// interleaving.
+//
+// Because the megaflow generator tiles the tuple space exactly, a warm
+// cache shields even mid-flood joiners within a second or two; what keeps
+// flow setup racing the flood in practice is cache *churn*. The scenario
+// models it the Fig. 8c way: the tenant's ACL is updated mid-attack
+// (every 5 s, alternating a semantically neutral variant), each update
+// invalidating the cache at the next revalidator sweep, so every flow
+// must win upcall admission again while the flood floods.
+//
+// The three modes isolate what each fairness layer buys. Worker-keyed
+// (the pre-vport shape): all three vports share one admission bucket, and
+// after every churn event the flood drains it before the victims' setup
+// packets arrive — the victims are refused at admission and move nothing
+// until the flood's own megaflows re-cover them (the order-dependence
+// called out in ROADMAP). Port-keyed: each victim owns its bucket, so
+// re-establishment is admitted the moment it is attempted. Adaptive: the
+// revalidator additionally notices the flooding port's exploding megaflow
+// footprint and throttles *that port's* quota toward the floor, capping
+// mask growth — and with it every victim lookup's scan cost — while the
+// victims keep their full budgets.
+func PortFairnessScenario(mode PortFairnessMode) (*Scenario, error) {
+	plain := flowtable.UseCaseACL(flowtable.SipSpDp, flowtable.ACLParams{})
+	churned := churnACL()
+	sw, err := vswitch.New(vswitch.Config{Table: plain, DisableMicroflow: true})
+	if err != nil {
+		return nil, err
+	}
+	trace, err := core.CoLocated(plain, core.CoLocatedOptions{Noise: true, Seed: 17})
+	if err != nil {
+		return nil, err
+	}
+	victims := []*Victim{
+		{
+			Name:        "Victim (established)",
+			Header:      victimHeader(0x0a000060, 46000, 80),
+			OfferedGbps: 9.7 / 2,
+			Port:        1,
+		},
+		{
+			Name:        "Victim (mid-attack)",
+			Header:      victimHeader(0x0a000061, 46017, 80),
+			OfferedGbps: 9.7 / 2,
+			StartSec:    15, // joins while the flood is raging
+			Port:        2,
+		},
+	}
+	phases := []AttackPhase{
+		{Trace: trace, RatePps: 1000, StartSec: 5, StopSec: 35, Port: 0},
+	}
+	// Policy churn at 12, 17, ..., 32: zero-rate phases carrying only the
+	// table swap, alternating the neutral variant and the original.
+	for i, t := 0, 12; t < 35; i, t = i+1, t+5 {
+		tbl := churned
+		if i%2 == 1 {
+			tbl = plain
+		}
+		phases = append(phases, AttackPhase{StartSec: t, StopSec: t + 1, InjectACL: tbl})
+	}
+	up := &UpcallParams{
+		QueueCap:      256,
+		QuotaPerPort:  64,
+		HandledPerSec: 64,
+		RevalidateSec: 1,
+	}
+	switch mode {
+	case FairnessWorkerKeyed:
+		up.WorkerKeyedQuota = true
+	case FairnessPortKeyed:
+	case FairnessAdaptive:
+		up.Adaptive = &upcall.AdaptiveQuota{BaseQuota: 64, MinQuota: 4, TargetFootprint: 64}
+	default:
+		return nil, fmt.Errorf("dataplane: unknown port-fairness mode %q", mode)
+	}
+	return &Scenario{
+		Name:        fmt.Sprintf("PortFairness-SipSpDp-%s", mode),
+		Switch:      sw,
+		NIC:         TCPGroOff,
+		Victims:     victims,
+		Phases:      phases,
+		DurationSec: 45,
+		Workers:     1,
 		Upcall:      up,
 	}, nil
 }

@@ -23,6 +23,11 @@ type Victim struct {
 	// Header is the flow's representative classifier key; all its packets
 	// share it (single transport connection).
 	Header bitvec.Vec
+	// Port is the ingress vport the flow arrives on. Asynchronous runs
+	// key upcall queues and admission quotas on it (a victim on its own
+	// vport never shares a bucket with the flood); the synchronous
+	// runners, which have no admission layer, ignore it.
+	Port int
 	// OfferedGbps is the offered load (iperf full rate).
 	OfferedGbps float64
 	// StartSec is the virtual second the flow begins.
@@ -46,6 +51,8 @@ type Victim struct {
 type AttackPhase struct {
 	// Trace is replayed cyclically (keeping the spawned megaflows warm).
 	Trace *core.Trace
+	// Port is the ingress vport the attack arrives on (see Victim.Port).
+	Port int
 	// RatePps is the attack packet rate.
 	RatePps int
 	// StartSec (inclusive) and StopSec (exclusive) bound the phase.
@@ -118,6 +125,23 @@ type Sample struct {
 	// Upcall carries the per-second queue/handler/revalidator series of
 	// asynchronous-slow-path runs; nil otherwise.
 	Upcall *UpcallSample
+}
+
+// portCount returns the number of ingress vports the scenario's traffic
+// mix names (1 + the highest port in use).
+func (sc *Scenario) portCount() int {
+	n := 1
+	for _, v := range sc.Victims {
+		if v.Port+1 > n {
+			n = v.Port + 1
+		}
+	}
+	for i := range sc.Phases {
+		if sc.Phases[i].Port+1 > n {
+			n = sc.Phases[i].Port + 1
+		}
+	}
+	return n
 }
 
 // Run executes the scenario and returns one sample per second.

@@ -14,20 +14,36 @@ import (
 // the slow-path saturation regime the paper's attack creates (every attack
 // packet is a flow miss; the queue bounds, fairness quotas and handler
 // service rate decide who gets slow-path service and whose megaflows get
-// installed).
+// installed). Queues and quotas are keyed by ingress vport — the
+// granularity OVS rate-limits upcalls at — so per-port traffic mixes
+// (attacker port vs victim ports) exercise the fairness story exactly.
 
 // UpcallParams switches a scenario to the asynchronous slow path.
 type UpcallParams struct {
-	// QueueCap bounds each worker's upcall queue (0 = unbounded).
+	// QueueCap bounds each vport's upcall queue (0 = unbounded).
 	QueueCap int
-	// QuotaPerWorker is the per-source per-second admission quota, the
-	// OVS-style upcall rate limit (0 = off).
-	QuotaPerWorker int
+	// QuotaPerPort is the per-vport per-second admission quota, the
+	// OVS-style upcall rate limit (0 = off). Ignored when Adaptive is
+	// set: the controller owns the quota and re-tunes it within
+	// [MinQuota, BaseQuota] every sweep, so Adaptive.BaseQuota is
+	// authoritative.
+	QuotaPerPort int
+	// WorkerKeyedQuota keys queues and quotas on the PMD worker index
+	// instead of the ingress vport — the legacy pre-vport behaviour, kept
+	// as the ablation the portfairness experiment measures: a victim
+	// sharing a worker with the flood then shares its admission bucket.
+	WorkerKeyedQuota bool
+	// Adaptive, when non-nil, closes the feedback loop: each revalidator
+	// sweep measures every vport's megaflow footprint (plus churn) and
+	// re-tunes its quota, so the flooding port throttles itself while
+	// victim ports keep their full budget.
+	Adaptive *upcall.AdaptiveQuota
 	// HandledPerSec is the handler service rate: how many upcalls the
 	// slow-path daemon classifies per virtual second (<= 0 = unlimited —
 	// the whole backlog drains every second). This is the saturation
 	// knob: the paper's testbed saturates ovs-vswitchd towards 50k
-	// upcalls/s (Fig. 9c).
+	// upcalls/s (Fig. 9c). Drained upcalls resolve in bursts that share
+	// one megaflow-install transaction (upcall.Options.HandlerBurst).
 	HandledPerSec int
 	// DisableDedup turns off flow-miss deduplication (ablation).
 	DisableDedup bool
@@ -54,26 +70,69 @@ type UpcallSample struct {
 	// the PMD cores (as ovs-vswitchd is), so it is reported, not
 	// subtracted from the per-core budgets.
 	HandlerCost float64
+	// PortQuota is each upcall source's admission quota in effect at the
+	// end of the second (after any adaptive re-tune), and PortQuotaDrops
+	// the second's quota refusals per source. Sources are vports, or PMD
+	// workers under WorkerKeyedQuota.
+	PortQuota      []int
+	PortQuotaDrops []int
+}
+
+// portsOrNil returns the explicit ingress-port slice for port-aware
+// scenarios, or nil so the pool falls back to RSS-derived dispatch.
+func portsOrNil(usePorts bool, ports []int) []int {
+	if usePorts {
+		return ports
+	}
+	return nil
 }
 
 // runAsync executes the scenario over a PMD-style pool whose misses go
-// through the upcall subsystem in fire-and-forget mode, drained once per
-// virtual second by the modelled handler service rate. Per-worker EMCs are
-// disabled for the same observability reason as runMulticore.
+// through the vport-keyed upcall subsystem in fire-and-forget mode,
+// drained once per virtual second by the modelled handler service rate.
+// Per-worker EMCs are disabled for the same observability reason as
+// runMulticore.
+//
+// Within each virtual second the victims' probes land mid-flood: half of
+// each attack phase's packets are dispatched first, then the victims, then
+// the rest. A steady one-probe-per-second flow arrives at an effectively
+// uniform position inside the second, and granting it the head-of-second
+// slot would hand every victim a fresh admission bucket before the flood —
+// exactly the order-dependence the per-port quotas exist to remove.
 func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 	up := sc.Upcall
 	nw := sc.Workers
 	if nw < 1 {
 		nw = 1
 	}
+	quota := up.QuotaPerPort
+	if up.Adaptive != nil {
+		// The adaptive controller owns the quota: its range is
+		// [MinQuota, BaseQuota] and every sweep re-tunes within it, so a
+		// different static QuotaPerPort could not survive the first sweep
+		// anyway. BaseQuota is authoritative.
+		quota = up.Adaptive.BaseQuota
+	}
+	// A scenario that never names an ingress port (all traffic on vport 0)
+	// keeps the legacy port-oblivious shape: one vport per worker with
+	// RSS-derived dispatch, so multi-worker runs still spread across the
+	// cores exactly as before the port dimension existed. Naming ports
+	// switches to explicit port-pinned dispatch.
+	usePorts := sc.portCount() > 1
+	ports := nw
+	if usePorts {
+		ports = sc.portCount()
+	}
 	pool, err := datapath.New(datapath.Config{
-		Switch:  sc.Switch,
-		Workers: nw,
+		Switch:         sc.Switch,
+		Workers:        nw,
+		Ports:          ports,
+		SourceByWorker: up.WorkerKeyedQuota,
 		// Handlers stays 0: the simulator owns the drain (HandleN below)
 		// so runs are deterministic.
 		Upcall: &upcall.Options{
 			QueueCap:       up.QueueCap,
-			QuotaPerSource: up.QuotaPerWorker,
+			QuotaPerSource: quota,
 			DisableDedup:   up.DisableDedup,
 		},
 		DisableEMC: true,
@@ -81,86 +140,131 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 	if err != nil {
 		return nil, err
 	}
-	rv, err := upcall.NewRevalidator(upcall.RevalidatorConfig{
-		Switch: sc.Switch, IntervalSec: up.RevalidateSec})
+	sub := pool.Upcalls()
+	rvCfg := upcall.RevalidatorConfig{Switch: sc.Switch, IntervalSec: up.RevalidateSec}
+	if up.Adaptive != nil {
+		rvCfg.Subsystem = sub
+		rvCfg.Adapt = up.Adaptive
+	}
+	rv, err := upcall.NewRevalidator(rvCfg)
 	if err != nil {
 		return nil, err
 	}
-	sub := pool.Upcalls()
 
 	cursor := make([]int, len(sc.Phases))
+	injected := make([]bool, len(sc.Phases))
 	samples := make([]Sample, 0, sc.DurationSec)
 	var batch []bitvec.Vec
+	var batchPorts []int
 	var verdicts []vswitch.Verdict
 	var vIdx []int
 	prevStats := sub.Stats()
+	prevPer := sub.PerSource()
 	prevInstalls := sc.Switch.Counters().Installs
 	for t := 0; t < sc.DurationSec; t++ {
 		now := int64(t)
 		// The revalidator owns megaflow lifecycle: idle expiry plus
-		// dump-and-check against the current table (no Switch.Tick here).
+		// dump-and-check against the current table (and, in adaptive mode,
+		// the per-port quota re-tune). No Switch.Tick here.
 		rvRes := rv.Tick(now)
 
 		workerAttack := make([]float64, nw)
 		costs := make([]float64, len(sc.Victims))
 		offered := make([]float64, len(sc.Victims))
 		workerOf := make([]int, len(sc.Victims))
-
-		// Victims submit first: within one virtual second arrival order
-		// is arbitrary, and a steady one-probe-per-second flow plausibly
-		// lands ahead of parts of the burst — this also keeps the
-		// per-source quota from starving a victim behind the same
-		// second's flood, which is the quota's per-port intent in OVS.
-		batch, vIdx = batch[:0], vIdx[:0]
-		for i, v := range sc.Victims {
-			workerOf[i] = pool.WorkerFor(v.Header)
-			if t < v.StartSec {
-				continue
-			}
-			batch = append(batch, v.Header)
-			vIdx = append(vIdx, i)
-			offered[i] = v.OfferedGbps * 1e9 / 8 / PacketBytes // pps
-		}
-		verdicts = pool.ProcessBatchDeferred(batch, now, verdicts)
-		for k, i := range vIdx {
-			costs[i] = sc.victimCost(sc.Victims[i], verdicts[k])
-		}
-
-		// Attack activity, sharded across the workers.
 		attackPps := 0
-		for i := range sc.Phases {
+
+		// replayPhase dispatches up to n of phase i's packets this second,
+		// applying the phase's ACL injection on first activation.
+		replayPhase := func(i, n int) error {
 			ph := &sc.Phases[i]
-			if t < ph.StartSec || t >= ph.StopSec {
-				continue
-			}
-			if t == ph.StartSec && ph.InjectACL != nil {
+			if t == ph.StartSec && ph.InjectACL != nil && !injected[i] {
+				injected[i] = true
 				// Asynchronous deployment: the table swap is applied
 				// without an inline sweep; the revalidator's next pass
 				// deletes stale megaflows (dump-and-check).
 				if err := sc.Switch.SwapTable(ph.InjectACL); err != nil {
-					return nil, err
+					return err
 				}
 				pool.FlushEMC()
 			}
-			attackPps += ph.RatePps
 			tr := ph.Trace
-			if tr == nil || tr.Len() == 0 {
-				continue
+			if tr == nil || tr.Len() == 0 || n <= 0 {
+				return nil
 			}
-			batch = batch[:0]
-			for k := 0; k < ph.RatePps; k++ {
+			batch, batchPorts = batch[:0], batchPorts[:0]
+			for k := 0; k < n; k++ {
 				batch = append(batch, tr.Headers[cursor[i]%tr.Len()])
+				if usePorts {
+					batchPorts = append(batchPorts, ph.Port)
+				}
 				cursor[i]++
 			}
-			verdicts = pool.ProcessBatchDeferred(batch, now, verdicts)
+			verdicts = pool.ProcessBatchDeferredPorts(portsOrNil(usePorts, batchPorts), batch, now, verdicts)
 			assign := pool.Assignments()
 			for k, v := range verdicts[:len(batch)] {
 				workerAttack[assign[k]] += verdictCost(v, sc.NIC)
 			}
+			return nil
+		}
+
+		active := func(i int) bool {
+			return t >= sc.Phases[i].StartSec && t < sc.Phases[i].StopSec
+		}
+
+		// First half of the flood.
+		for i := range sc.Phases {
+			if !active(i) {
+				continue
+			}
+			attackPps += sc.Phases[i].RatePps
+			if err := replayPhase(i, sc.Phases[i].RatePps/2); err != nil {
+				return nil, err
+			}
+		}
+
+		// Victims probe mid-second.
+		batch, batchPorts, vIdx = batch[:0], batchPorts[:0], vIdx[:0]
+		for i, v := range sc.Victims {
+			if usePorts {
+				workerOf[i] = pool.PortWorker(v.Port)
+			} else {
+				workerOf[i] = pool.WorkerFor(v.Header)
+			}
+			if t < v.StartSec {
+				continue
+			}
+			batch = append(batch, v.Header)
+			if usePorts {
+				batchPorts = append(batchPorts, v.Port)
+			}
+			vIdx = append(vIdx, i)
+			offered[i] = v.OfferedGbps * 1e9 / 8 / PacketBytes // pps
+		}
+		verdicts = pool.ProcessBatchDeferredPorts(portsOrNil(usePorts, batchPorts), batch, now, verdicts)
+		for k, i := range vIdx {
+			costs[i] = sc.victimCost(sc.Victims[i], verdicts[k])
+			if verdicts[k].Path == vswitch.PathUpcallDrop {
+				// The flow's setup packet was refused at admission: the
+				// datapath is dropping the flow on the floor, so it moves
+				// no traffic this second. This is the loss the per-port
+				// quotas protect victims from.
+				offered[i] = 0
+			}
+		}
+
+		// Second half of the flood.
+		for i := range sc.Phases {
+			if !active(i) {
+				continue
+			}
+			if err := replayPhase(i, sc.Phases[i].RatePps-sc.Phases[i].RatePps/2); err != nil {
+				return nil, err
+			}
 		}
 
 		// Handlers drain on their own service budget, round-robin across
-		// the worker queues; leftovers stay queued into the next second.
+		// the vport queues; leftovers stay queued into the next second.
 		budget := up.HandledPerSec
 		if budget <= 0 {
 			budget = math.MaxInt
@@ -168,20 +272,27 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 		handled := sub.HandleN(budget)
 
 		st := sub.Stats()
+		per := sub.PerSource()
 		installs := sc.Switch.Counters().Installs
 		usample := &UpcallSample{
-			Enqueued:    int(st.Enqueued - prevStats.Enqueued),
-			Deduped:     int(st.Deduped - prevStats.Deduped),
-			QueueDrops:  int(st.QueueDrops - prevStats.QueueDrops),
-			QuotaDrops:  int(st.QuotaDrops - prevStats.QuotaDrops),
-			Handled:     handled,
-			Installed:   int(installs - prevInstalls),
-			Backlog:     st.Backlog,
-			Expired:     rvRes.Expired,
-			Invalidated: rvRes.Invalidated,
-			HandlerCost: float64(handled) * sc.NIC.SlowPathCost,
+			Enqueued:       int(st.Enqueued - prevStats.Enqueued),
+			Deduped:        int(st.Deduped - prevStats.Deduped),
+			QueueDrops:     int(st.QueueDrops - prevStats.QueueDrops),
+			QuotaDrops:     int(st.QuotaDrops - prevStats.QuotaDrops),
+			Handled:        handled,
+			Installed:      int(installs - prevInstalls),
+			Backlog:        st.Backlog,
+			Expired:        rvRes.Expired,
+			Invalidated:    rvRes.Invalidated,
+			HandlerCost:    float64(handled) * sc.NIC.SlowPathCost,
+			PortQuota:      make([]int, len(per)),
+			PortQuotaDrops: make([]int, len(per)),
 		}
-		prevStats, prevInstalls = st, installs
+		for p := range per {
+			usample.PortQuota[p] = sub.QuotaFor(p)
+			usample.PortQuotaDrops[p] = int(per[p].QuotaDrops - prevPer[p].QuotaDrops)
+		}
+		prevStats, prevPer, prevInstalls = st, per, installs
 
 		pps := waterfillWorkers(nw, workerOf, offered, costs, workerAttack,
 			perCore, sc.NIC.LinePps())

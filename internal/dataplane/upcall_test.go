@@ -69,10 +69,12 @@ func sumUpcall(samples []Sample) (tot UpcallSample, peakMasks, peakBacklog int) 
 // unbounded async run, with the refusals visible in the series.
 func TestAsyncScenarioBoundsMaskGrowth(t *testing.T) {
 	open := asyncScenario(t, &UpcallParams{RevalidateSec: 1})
-	// Quota admits 16/s across the two workers while the handlers serve 8:
-	// the backlog grows until the queue cap, so every bound is exercised.
+	// The single ingress vport admits 12/s while the handlers serve 8, so
+	// the backlog climbs toward the queue cap: early seconds show quota
+	// drops (tokens out while the queue has room), late seconds queue-full
+	// drops — every bound is exercised.
 	bounded := asyncScenario(t, &UpcallParams{
-		QueueCap: 16, QuotaPerWorker: 8, HandledPerSec: 8, RevalidateSec: 1})
+		QueueCap: 32, QuotaPerPort: 12, HandledPerSec: 8, RevalidateSec: 1})
 
 	so, err := open.Run()
 	if err != nil {

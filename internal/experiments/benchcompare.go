@@ -10,10 +10,16 @@ import (
 
 // regressionPrefixes name the benchmark families the CI regression gate
 // watches: the O(|M|) mask-scan cost and the victim's lookup under attack
-// states — the two quantities every perf PR in this repository exists to
-// move. Other results (scenario summaries, upcall round trips) are
-// trajectory data but not gated: they mix policy with speed.
-var regressionPrefixes = []string{"tss_lookup_miss_", "victim_lookup_"}
+// states (the quantities every perf PR in this repository exists to
+// move), the upcall submit path (admission must stay cheap or bounded
+// queues stop being a defense), and the megaflow-install publish cost —
+// per-install and batched — so the InsertBatch amortisation win cannot
+// silently regress. Other results (scenario summaries) are trajectory
+// data but not gated: they mix policy with speed.
+var regressionPrefixes = []string{
+	"tss_lookup_miss_", "victim_lookup_",
+	"tss_install_", "upcall_submit_", "upcall_roundtrip_",
+}
 
 // RegressionFactor is the slowdown the gate tolerates between two
 // committed BENCH files: generous enough for cross-host noise (the files

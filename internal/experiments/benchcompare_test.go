@@ -2,6 +2,9 @@ package experiments
 
 import (
 	"bytes"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -14,7 +17,8 @@ func TestCompareBenchReports(t *testing.T) {
 	oldRep := rep(
 		BenchResult{Name: "tss_lookup_miss_masks_4096", NsPerOp: 20000},
 		BenchResult{Name: "victim_lookup_SipDp", NsPerOp: 2000},
-		BenchResult{Name: "upcall_roundtrip_suppressed", NsPerOp: 800},
+		BenchResult{Name: "tss_install_batched_masks_4096", NsPerOp: 150000},
+		BenchResult{Name: "datapath_attack_workers_4", NsPerOp: 500000},
 	)
 
 	t.Run("improvement passes", func(t *testing.T) {
@@ -47,9 +51,19 @@ func TestCompareBenchReports(t *testing.T) {
 	})
 
 	t.Run("ungated slowdown passes", func(t *testing.T) {
-		newRep := rep(BenchResult{Name: "upcall_roundtrip_suppressed", NsPerOp: 8000})
+		newRep := rep(BenchResult{Name: "datapath_attack_workers_4", NsPerOp: 5000000})
 		if err := CompareBenchReports(new(bytes.Buffer), oldRep, newRep, 2.0); err != nil {
 			t.Fatalf("ungated bench tripped the gate: %v", err)
+		}
+	})
+
+	t.Run("batched-install slowdown fails", func(t *testing.T) {
+		// The publish-amortisation win is gated: losing it (a >2x slowdown
+		// of the InsertBatch transaction) must fail the diff.
+		newRep := rep(BenchResult{Name: "tss_install_batched_masks_4096", NsPerOp: 400000})
+		err := CompareBenchReports(new(bytes.Buffer), oldRep, newRep, 2.0)
+		if err == nil || !strings.Contains(err.Error(), "tss_install_batched_masks_4096") {
+			t.Fatalf("gated batched-install slowdown not flagged: %v", err)
 		}
 	})
 
@@ -69,12 +83,36 @@ func TestCompareBenchReports(t *testing.T) {
 	})
 }
 
-// TestCompareCommittedBenchFiles runs the actual CI gate over the
-// committed trajectory files, so a PR cannot commit a BENCH file that
-// fails its own gate.
+// TestCompareCommittedBenchFiles runs the actual CI gate over the newest
+// two committed trajectory files (discovered by glob, so committing
+// BENCH_prN.json automatically gates it against its predecessor without
+// anyone remembering to bump this test), so a PR cannot commit a BENCH
+// file that fails its own gate.
 func TestCompareCommittedBenchFiles(t *testing.T) {
-	var buf bytes.Buffer
-	if err := CompareBenchFiles(&buf, "../../BENCH_pr3.json", "../../BENCH_pr4.json"); err != nil {
-		t.Fatalf("committed trajectory fails the gate: %v\n%s", err, buf.String())
+	files, err := filepath.Glob("../../BENCH_pr*.json")
+	if err != nil {
+		t.Fatal(err)
 	}
+	if len(files) < 2 {
+		t.Fatalf("found %d committed BENCH files, need at least 2 to diff", len(files))
+	}
+	// PR numbers sort numerically; pad so pr10 follows pr9.
+	sort.Slice(files, func(i, j int) bool { return benchPR(files[i]) < benchPR(files[j]) })
+	oldPath, newPath := files[len(files)-2], files[len(files)-1]
+	var buf bytes.Buffer
+	if err := CompareBenchFiles(&buf, oldPath, newPath); err != nil {
+		t.Fatalf("committed trajectory %s -> %s fails the gate: %v\n%s",
+			oldPath, newPath, err, buf.String())
+	}
+}
+
+// benchPR extracts the PR number from a BENCH_pr<N>.json path (-1 if
+// unparseable, sorting malformed names first so they are never "newest").
+func benchPR(path string) int {
+	base := strings.TrimSuffix(filepath.Base(path), ".json")
+	n, err := strconv.Atoi(strings.TrimPrefix(base, "BENCH_pr"))
+	if err != nil {
+		return -1
+	}
+	return n
 }

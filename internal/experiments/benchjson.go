@@ -359,19 +359,75 @@ func BenchJSON() (*BenchReport, error) {
 		})
 	}
 
+	// Megaflow-install cost at 4096 masks: the copy-on-write publish bill
+	// of the lock-free read path, per install (the writer re-copies the
+	// O(|M|) probe mirror on every publish) vs amortised over a 32-entry
+	// InsertBatch transaction — the handler-drain burst shape, which
+	// publishes once per burst. Installs are idempotent refreshes
+	// round-robin over the 4096 seeded megaflows (the one-entry-per-mask
+	// attack shape), so the classifier stays in steady state for any
+	// iteration count and the publish — the quantity under test —
+	// dominates. per_install_ns in the batched row is the direct
+	// comparison figure; the regression gate watches both rows.
+	{
+		const burst = 32
+		mkClassifier := func() (*tss.Classifier, error) {
+			c := tss.New(l, tss.Options{DisableOverlapCheck: true})
+			if err := populateMasks(c, l, 4096); err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
+		c1, err := mkClassifier()
+		if err != nil {
+			return nil, err
+		}
+		seed := c1.Entries()
+		n := 0
+		add("tss_install_masks_4096", map[string]float64{"masks": 4096},
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					e := seed[n%len(seed)]
+					n++
+					c1.Insert(&tss.Entry{Key: e.Key, Mask: e.Mask, Action: flowtable.Drop}, 0)
+				}
+			})
+		c2, err := mkClassifier()
+		if err != nil {
+			return nil, err
+		}
+		seed2 := c2.Entries()
+		es := make([]*tss.Entry, burst)
+		n = 0
+		add("tss_install_batched_masks_4096",
+			map[string]float64{"masks": 4096, "batch": burst},
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for j := range es {
+						e := seed2[n%len(seed2)]
+						n++
+						es[j] = &tss.Entry{Key: e.Key, Mask: e.Mask, Action: flowtable.Drop}
+					}
+					c2.InsertBatch(es, 0)
+				}
+			})
+		// One batched op installs `burst` megaflows; record the per-install
+		// figure so the trajectory reads without dividing.
+		last := &rep.Results[len(rep.Results)-1]
+		last.Extra["per_install_ns"] = last.NsPerOp / burst
+	}
+
 	// The upcall-saturation suite: the slow-path overload regime of the
 	// paper (every attack packet a flow miss), unbounded vs bounded. The
 	// series is folded by the same summarise the `saturation` experiment
 	// prints, so the JSON trajectory and the table cannot diverge.
-	for _, bounded := range []bool{false, true} {
-		sc, err := dataplane.SaturationScenario(2, bounded)
-		if err != nil {
-			return nil, err
-		}
+	runScenario := func(sc *dataplane.Scenario) error {
 		start := time.Now()
 		samples, err := sc.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		wall := time.Since(start)
 		s := summarise(samples)
@@ -390,6 +446,33 @@ func BenchJSON() (*BenchReport, error) {
 			VictimPostGbps:  s.PostGbps,
 			WallMs:          float64(wall.Nanoseconds()) / 1e6,
 		})
+		return nil
+	}
+	for _, bounded := range []bool{false, true} {
+		sc, err := dataplane.SaturationScenario(2, bounded)
+		if err != nil {
+			return nil, err
+		}
+		if err := runScenario(sc); err != nil {
+			return nil, err
+		}
+	}
+
+	// The port-fairness suite: worker-keyed vs port-keyed vs adaptive
+	// quotas under the same flood + policy churn (see the portfairness
+	// experiment). Their victim_under rows are the fairness trajectory.
+	for _, mode := range []dataplane.PortFairnessMode{
+		dataplane.FairnessWorkerKeyed,
+		dataplane.FairnessPortKeyed,
+		dataplane.FairnessAdaptive,
+	} {
+		sc, err := dataplane.PortFairnessScenario(mode)
+		if err != nil {
+			return nil, err
+		}
+		if err := runScenario(sc); err != nil {
+			return nil, err
+		}
 	}
 	return rep, nil
 }

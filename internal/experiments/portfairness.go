@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tse/internal/dataplane"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "portfairness",
+		Title: "Per-port slow-path fairness — worker-keyed vs port-keyed vs adaptive quotas",
+		Run:   RunPortFairness,
+	})
+}
+
+// fairnessSummary condenses one port-fairness run into the table row the
+// experiment prints (and tsebench -json exports).
+type fairnessSummary struct {
+	Mode       dataplane.PortFairnessMode
+	PeakMasks  int
+	Enqueued   int
+	QuotaDrops int
+	// LateUnderGbps is the mid-attack victim's throughput averaged over
+	// [20, 35) — the flow that tries to establish while the flood rages,
+	// the paper's newly-established-flow casualty. UnderGbps is all
+	// victims' total over the same window, PostGbps after recovery.
+	LateUnderGbps, UnderGbps, PostGbps float64
+	// FloodQuotaEnd is the flooding source's admission quota at the end
+	// of the attack window (BaseQuota unless the adaptive loop shrank it).
+	FloodQuotaEnd int
+}
+
+// foldPortFairness summarises one run; the attack window of
+// PortFairnessScenario is [5, 35) with the late victim joining at 15.
+func foldPortFairness(mode dataplane.PortFairnessMode, samples []dataplane.Sample) fairnessSummary {
+	s := fairnessSummary{Mode: mode}
+	lateSum, lateN := 0.0, 0
+	for _, smp := range samples {
+		if smp.Masks > s.PeakMasks {
+			s.PeakMasks = smp.Masks
+		}
+		u := smp.Upcall
+		if u == nil {
+			continue
+		}
+		s.Enqueued += u.Enqueued
+		s.QuotaDrops += u.QuotaDrops
+		if smp.Sec >= 20 && smp.Sec < 35 && len(smp.VictimGbps) > 1 {
+			lateSum += smp.VictimGbps[1]
+			lateN++
+		}
+		if smp.Sec == 34 && len(u.PortQuota) > 0 {
+			s.FloodQuotaEnd = u.PortQuota[0]
+		}
+	}
+	if lateN > 0 {
+		s.LateUnderGbps = lateSum / float64(lateN)
+	}
+	s.UnderGbps = avgVictimGbps(samples, 20, 35)
+	s.PostGbps = avgVictimGbps(samples, 40, 45)
+	return s
+}
+
+// runPortFairness builds and runs one port-fairness mode.
+func runPortFairness(mode dataplane.PortFairnessMode) (fairnessSummary, error) {
+	sc, err := dataplane.PortFairnessScenario(mode)
+	if err != nil {
+		return fairnessSummary{}, err
+	}
+	samples, err := sc.Run()
+	if err != nil {
+		return fairnessSummary{}, err
+	}
+	return foldPortFairness(mode, samples), nil
+}
+
+// RunPortFairness regenerates the victim-throughput-under-flood comparison
+// across the three quota keyings: one PMD worker shared by an attacking
+// vport and two victim vports, with the second victim joining mid-flood.
+func RunPortFairness(w io.Writer) error {
+	fmt.Fprintf(w, "%-12s %10s %9s %11s %11s %10s %8s %11s\n",
+		"quota mode", "peak masks", "enqueued", "quota-drops",
+		"late victim", "under-atk", "post", "flood quota")
+	for _, mode := range []dataplane.PortFairnessMode{
+		dataplane.FairnessWorkerKeyed,
+		dataplane.FairnessPortKeyed,
+		dataplane.FairnessAdaptive,
+	} {
+		s, err := runPortFairness(mode)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %10d %9d %11d %10.2fG %10.2fG %7.2fG %11d\n",
+			s.Mode, s.PeakMasks, s.Enqueued, s.QuotaDrops,
+			s.LateUnderGbps, s.UnderGbps, s.PostGbps, s.FloodQuotaEnd)
+	}
+	fmt.Fprintln(w, "\nAll three vports share ONE PMD worker. Worker-keyed (the pre-vport")
+	fmt.Fprintln(w, "shape), the flood drains the shared admission bucket every second, so")
+	fmt.Fprintln(w, "the victim joining mid-attack cannot even install its megaflow: its")
+	fmt.Fprintln(w, "setup packets are refused at admission and it moves nothing until the")
+	fmt.Fprintln(w, "attack ends. Port-keyed, the victim owns its bucket and establishes")
+	fmt.Fprintln(w, "immediately — but the flood still installs its full per-port quota of")
+	fmt.Fprintln(w, "masks, taxing every lookup. Adaptive quotas close the loop: the")
+	fmt.Fprintln(w, "revalidator sees the flooding port's megaflow footprint explode and")
+	fmt.Fprintln(w, "throttles that port toward the floor, so mask growth — and with it")
+	fmt.Fprintln(w, "both victims' scan cost — stays an order of magnitude lower while the")
+	fmt.Fprintln(w, "victims keep their full budgets. OVS sizes its vport-granular upcall")
+	fmt.Fprintln(w, "rate limiter from observed load for exactly this reason.")
+	return nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"tse/internal/dataplane"
+)
+
+// TestPortFairnessOrdering is the acceptance criterion: under the SipSpDp
+// flood (with mid-attack policy churn), victim throughput is strictly
+// better with port-keyed adaptive quotas than with the legacy worker-keyed
+// quotas — and each fairness layer buys a strict improvement.
+func TestPortFairnessOrdering(t *testing.T) {
+	run := func(mode dataplane.PortFairnessMode) fairnessSummary {
+		t.Helper()
+		s, err := runPortFairness(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	wk := run(dataplane.FairnessWorkerKeyed)
+	pk := run(dataplane.FairnessPortKeyed)
+	ad := run(dataplane.FairnessAdaptive)
+
+	// The headline inequality: adaptive port-keyed beats worker-keyed on
+	// victim throughput under attack, for the mid-attack joiner and in
+	// aggregate.
+	if !(ad.UnderGbps > wk.UnderGbps) {
+		t.Errorf("adaptive under-attack %.3fG not strictly better than worker-keyed %.3fG",
+			ad.UnderGbps, wk.UnderGbps)
+	}
+	if !(ad.LateUnderGbps > wk.LateUnderGbps) {
+		t.Errorf("adaptive late-victim %.3fG not strictly better than worker-keyed %.3fG",
+			ad.LateUnderGbps, wk.LateUnderGbps)
+	}
+	// Static port-keying already fixes the admission share: victims'
+	// re-establishment after policy churn is admitted instead of starved.
+	if !(pk.LateUnderGbps > wk.LateUnderGbps) {
+		t.Errorf("port-keyed late-victim %.3fG not strictly better than worker-keyed %.3fG",
+			pk.LateUnderGbps, wk.LateUnderGbps)
+	}
+	// The adaptive loop's own channel: the flooding port's quota is
+	// throttled below base, capping mask growth below the static runs.
+	if ad.FloodQuotaEnd >= 64 {
+		t.Errorf("adaptive flood-port quota %d did not shrink below base 64", ad.FloodQuotaEnd)
+	}
+	if !(ad.PeakMasks < pk.PeakMasks/2) {
+		t.Errorf("adaptive peak masks %d not well below port-keyed %d", ad.PeakMasks, pk.PeakMasks)
+	}
+	// Worker-keyed starves victims at admission; port-keyed must not.
+	if wk.QuotaDrops == 0 || pk.QuotaDrops == 0 {
+		t.Error("flood was never quota-limited")
+	}
+}

@@ -1,0 +1,140 @@
+package tss
+
+import (
+	"testing"
+
+	"tse/internal/bitvec"
+	"tse/internal/flowtable"
+)
+
+// costEntries builds n disjoint entries whose masks share one word shape
+// (ip_src/32 + tp_dst prefix j): under uniform-cost masks, OrderProbeCost
+// must reduce to OrderHitCount.
+func costEntries(l *bitvec.Layout, n int) []*Entry {
+	sip, _ := l.FieldIndex("ip_src")
+	dp, _ := l.FieldIndex("tp_dst")
+	es := make([]*Entry, 0, n)
+	for j := 1; len(es) < n; j++ {
+		mask := bitvec.PrefixMask(l, sip, 32).Or(bitvec.PrefixMask(l, dp, j))
+		key := bitvec.NewVec(l)
+		key.SetField(l, sip, uint64(j))
+		key.SetFieldBit(l, dp, j-1)
+		es = append(es, &Entry{Key: key.And(mask), Mask: mask, Action: flowtable.Allow})
+	}
+	return es
+}
+
+// TestProbeCostMatchesHitCountUniform is the satellite equivalence
+// requirement: on uniform traffic — every mask the same measured probe
+// cost (staging off, equal nonzero-word counts) — OrderProbeCost yields
+// exactly the scan order OrderHitCount does, distinct hit frequencies and
+// all.
+func TestProbeCostMatchesHitCountUniform(t *testing.T) {
+	l := bitvec.IPv4Tuple
+	byHits := New(l, Options{Order: OrderHitCount, DisableStagedLookup: true})
+	byCost := New(l, Options{Order: OrderProbeCost, DisableStagedLookup: true})
+	es := costEntries(l, 8)
+	for _, c := range []*Classifier{byHits, byCost} {
+		for i, e := range costEntries(l, 8) {
+			if err := c.Insert(e, 0); err != nil {
+				t.Fatalf("insert %d: %v", i, err)
+			}
+		}
+	}
+	// Distinct per-entry hit frequencies, interleaved so the resort has
+	// real work to do.
+	for round := 0; round < 8; round++ {
+		for i, e := range es {
+			if round <= i*2%7 {
+				continue
+			}
+			for _, c := range []*Classifier{byHits, byCost} {
+				if _, _, ok := c.Lookup(e.Key, 1); !ok {
+					t.Fatalf("entry %d missed", i)
+				}
+			}
+		}
+	}
+	// One more lookup triggers the lazy resort on both.
+	miss := bitvec.FullMask(l)
+	byHits.Lookup(miss, 2)
+	byCost.Lookup(miss, 2)
+
+	mh, mc := byHits.Masks(), byCost.Masks()
+	if len(mh) != len(mc) {
+		t.Fatalf("mask counts diverge: %d vs %d", len(mh), len(mc))
+	}
+	for i := range mh {
+		if !mh[i].Equal(mc[i]) {
+			t.Fatalf("scan position %d diverges between OrderHitCount and OrderProbeCost", i)
+		}
+	}
+}
+
+// TestProbeCostPrefersCheapMask: at equal hit counts, OrderProbeCost
+// promotes the mask with the lower measured probe cost (fewer words
+// touched per probe) ahead of the expensive one, where OrderHitCount's
+// stable sort keeps insertion order.
+func TestProbeCostPrefersCheapMask(t *testing.T) {
+	l := bitvec.IPv4Tuple
+	sip, _ := l.FieldIndex("ip_src")
+
+	wide := bitvec.FullMask(l) // touches every layout word
+	wideKey := bitvec.NewVec(l)
+	wideKey.SetField(l, sip, 0x02000000)
+	narrow := bitvec.PrefixMask(l, sip, 8) // one word
+	narrowKey := bitvec.NewVec(l)
+	narrowKey.SetField(l, sip, 0x01000000)
+
+	run := func(order MaskOrder) *Classifier {
+		c := New(l, Options{Order: order, DisableStagedLookup: true})
+		// Expensive mask inserted first: a hit-count tie keeps it first.
+		if err := c.Insert(&Entry{Key: wideKey.And(wide), Mask: wide, Action: flowtable.Allow}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Insert(&Entry{Key: narrowKey.And(narrow), Mask: narrow, Action: flowtable.Allow}, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			c.Lookup(wideKey, 1)
+			c.Lookup(narrowKey, 1)
+		}
+		c.Lookup(bitvec.NewVec(l), 2) // trigger the lazy resort
+		return c
+	}
+
+	if masks := run(OrderHitCount).Masks(); !masks[0].Equal(wide) {
+		t.Error("OrderHitCount broke its stable tie (expected insertion order)")
+	}
+	if masks := run(OrderProbeCost).Masks(); !masks[0].Equal(narrow) {
+		t.Error("OrderProbeCost did not promote the cheaper mask at equal hits")
+	}
+}
+
+// TestProbeCostKeyMeasuresSkips pins the cost formula: a group whose
+// probes mostly bail at a stage boundary is measured far cheaper than a
+// never-skipping group of the same width.
+func TestProbeCostKeyMeasuresSkips(t *testing.T) {
+	mk := func(words int, probes, skips, hits uint64) *group {
+		g := &group{words: make([]int, words),
+			hits: new(uint64), probes: new(uint64), skips: new(uint64)}
+		*g.hits, *g.probes, *g.skips = hits, probes, skips
+		return g
+	}
+	// 4-word mask, 75 % stage-skip rate: mean words = (25*4 + 75)/100 = 1.75.
+	cheap := probeCostKey(mk(4, 100, 75, 10))
+	full := probeCostKey(mk(4, 100, 0, 10))
+	if want := 10 / 1.75; cheap != want {
+		t.Errorf("skipping group key = %v, want %v", cheap, want)
+	}
+	if want := 10 / 4.0; full != want {
+		t.Errorf("full-probe group key = %v, want %v", full, want)
+	}
+	if cheap <= full {
+		t.Error("measured skips did not lower the probe cost")
+	}
+	// No observations: cost defaults to the word count.
+	if got, want := probeCostKey(mk(2, 0, 0, 8)), 4.0; got != want {
+		t.Errorf("unobserved group key = %v, want %v", got, want)
+	}
+}

@@ -63,7 +63,23 @@ const (
 	// OrderHitCount scans masks most-hit-first, re-sorted lazily. Models
 	// the OVS userspace classifier's pvector priority optimisation.
 	OrderHitCount
+	// OrderProbeCost scans masks by hits per unit of *measured* probe
+	// cost, re-sorted lazily like OrderHitCount. Staged lookup makes
+	// per-probe cost non-uniform — a mask whose probes mostly bail at the
+	// first stage costs a word touch, one that rarely bails costs the full
+	// masked hash+compare over its nonzero words — so the scan-order
+	// objective is hits/cost, not raw hits: a cheap mask in an early
+	// position taxes every lookup less than an expensive one with the same
+	// hit count. Cost is measured per group as the mean words touched per
+	// probe (stage-skip rate x nonzero words); with staging off (or no
+	// skips observed) every mask costs its word count and, at equal word
+	// counts, the order degenerates to OrderHitCount exactly — the
+	// equivalence the probecost tests pin down.
+	OrderProbeCost
 )
+
+// resorts reports whether the order re-sorts lazily from measured traffic.
+func (o MaskOrder) resorts() bool { return o == OrderHitCount || o == OrderProbeCost }
 
 // Entry is one megaflow: a disjoint key-mask pair with a cached action.
 type Entry struct {
@@ -76,6 +92,12 @@ type Entry struct {
 	// RuleName records which flow-table rule generated the entry
 	// (diagnostics and MFCGuard pattern matching).
 	RuleName string
+	// Port is the ingress vport whose flow miss installed the entry
+	// (0 for single-port deployments and direct inserts). The revalidator
+	// aggregates its dump statistics by this field to drive per-port
+	// adaptive upcall quotas: a port whose megaflow footprint explodes is
+	// the one flooding the slow path.
+	Port int
 	// LastUsed is the virtual time of the last hit or the install time.
 	// The simulator advances virtual time in seconds.
 	LastUsed int64
@@ -154,7 +176,14 @@ type group struct {
 	words   []int // nonzero word indices of mask, in order
 	n       int
 	hits    *uint64 // shared across copy-on-write clones
-	seq     int
+	// probes and skips measure the group's per-probe cost for
+	// OrderProbeCost (shared across clones like hits): probes counts scan
+	// probes of this mask, skips the subset that bailed at a stage
+	// boundary. Only maintained while the classifier runs OrderProbeCost,
+	// so the default orders pay nothing for them.
+	probes *uint64
+	skips  *uint64
+	seq    int
 }
 
 // slot is one open-addressing cell: the key's fingerprint (keyHash) for a
@@ -179,6 +208,8 @@ func newGroup(mask bitvec.Vec, maskKey string, seq int, stages []int) *group {
 		words:   mask.NonzeroWords(),
 		slots:   make([]slot, minGroupSlots),
 		hits:    new(uint64),
+		probes:  new(uint64),
+		skips:   new(uint64),
 		seq:     seq,
 	}
 	g.sparse, g.sparseOK = bitvec.NewSparseMask(mask)
@@ -459,6 +490,11 @@ type Stats struct {
 	StageSkips uint64
 	// Inserted and Deleted count entry lifecycle events.
 	Inserted, Deleted uint64
+	// Publishes counts snapshot publications: the number of times the
+	// writer paid the O(|M|) copy-on-write probe-mirror copy. A K-entry
+	// InsertBatch raises it by exactly one — the amortisation the batched
+	// slow path exists for.
+	Publishes uint64
 }
 
 // Options configures a Classifier.
@@ -525,13 +561,14 @@ type Classifier struct {
 	staged  bool
 
 	snap  atomic.Pointer[snapshot]
-	dirty atomic.Bool // OrderHitCount needs re-sort
+	dirty atomic.Bool // OrderHitCount/OrderProbeCost needs re-sort
 
 	def      *Handle
 	shardsMu sync.Mutex
 	shards   []*statShard
+	costKeys []float64 // resort scratch (under mu), OrderProbeCost only
 
-	inserted, deleted uint64 // writer-side counters, under mu
+	inserted, deleted, published uint64 // writer-side counters, under mu
 }
 
 // snapshot is one immutable published scan state: the flat probe list in
@@ -552,7 +589,7 @@ type snapshot struct {
 // nonzero mask word and the entry's key word under it sit in the record
 // itself, so the staged probe decides most misses with a single AND and
 // compare against streamed bytes, never dereferencing the group. The
-// record is kept to 56 bytes deliberately — the 4096-mask scan is memory-
+// record is kept to 48 bytes deliberately — the 4096-mask scan is memory-
 // bandwidth-bound, so bytes per probe matter more than instructions.
 type scanProbe struct {
 	e0   *Entry  // sole entry of a one-entry inline-mask group, else nil
@@ -600,6 +637,7 @@ func (c *Classifier) publishLocked() {
 		g.frozen = true
 	}
 	c.thawed = c.thawed[:0]
+	c.published++
 	c.snap.Store(sn)
 }
 
@@ -689,6 +727,11 @@ func (hd *Handle) Lookup(h bitvec.Vec, now int64) (*Entry, int, bool) {
 // statistics go to the handle's private shard.
 func (hd *Handle) lookupSnap(sn *snapshot, h bitvec.Vec, now int64) (*Entry, int, int, bool) {
 	c := hd.c
+	if c.opts.Order == OrderProbeCost {
+		// Probe-cost ranking needs per-group probe/skip accounting; it
+		// runs in its own loop so the default orders pay nothing for it.
+		return hd.lookupSnapTracked(sn, h, now)
+	}
 	staged := c.staged
 	probes, skips := 0, 0
 	for k := range sn.probes {
@@ -738,6 +781,62 @@ func (hd *Handle) lookupSnap(sn *snapshot, h bitvec.Vec, now int64) (*Entry, int
 			if c.opts.Order == OrderHitCount {
 				c.dirty.Store(true)
 			}
+			sh := hd.sh
+			atomic.AddUint64(&sh.lookups, 1)
+			atomic.AddUint64(&sh.hits, 1)
+			atomic.AddUint64(&sh.probes, uint64(probes))
+			atomic.AddUint64(&sh.stageSkips, uint64(skips))
+			return e, probes, skips, true
+		}
+	}
+	sh := hd.sh
+	atomic.AddUint64(&sh.lookups, 1)
+	atomic.AddUint64(&sh.misses, 1)
+	atomic.AddUint64(&sh.probes, uint64(probes))
+	atomic.AddUint64(&sh.stageSkips, uint64(skips))
+	return nil, probes, skips, false
+}
+
+// lookupSnapTracked is lookupSnap for OrderProbeCost: identical probe
+// semantics, plus per-group probe/skip counters — the measurements the
+// cost-aware resort ranks by. Kept out of lookupSnap so the default
+// orders' scan loop carries no accounting branches.
+func (hd *Handle) lookupSnapTracked(sn *snapshot, h bitvec.Vec, now int64) (*Entry, int, int, bool) {
+	c := hd.c
+	staged := c.staged
+	probes, skips := 0, 0
+	for k := range sn.probes {
+		p := &sn.probes[k]
+		probes++
+		var e *Entry
+		var skip bool
+		if p.e0 != nil {
+			if staged {
+				if h[p.idx0]&p.mw0 != p.kw0 {
+					skip = p.n > 1
+				} else if p.n <= 1 {
+					e = p.e0
+				} else if p.g.sparse.EqualKey(p.e0.Key, h) {
+					e = p.e0
+				}
+			} else if g := p.g; g.sparse.Hash(h) == g.soloFP && g.sparse.EqualKey(p.e0.Key, h) {
+				e = p.e0
+			}
+		} else if staged {
+			e, skip = p.g.findMaskedStaged(h)
+		} else {
+			e = p.g.findMasked(h)
+		}
+		atomic.AddUint64(p.g.probes, 1)
+		if skip {
+			skips++
+			atomic.AddUint64(p.g.skips, 1)
+		}
+		if e != nil {
+			atomic.AddUint64(&e.Hits, 1)
+			atomic.StoreInt64(&e.LastUsed, now)
+			atomic.AddUint64(p.hits, 1)
+			c.dirty.Store(true)
 			sh := hd.sh
 			atomic.AddUint64(&sh.lookups, 1)
 			atomic.AddUint64(&sh.hits, 1)
@@ -816,12 +915,12 @@ func (hd *Handle) Stats() Stats {
 	}
 }
 
-// maybeResort restores hit-count order before a read-path scan. At most
-// one reader performs the re-sort (TryLock); everyone else proceeds with
-// the current snapshot, so the read path never blocks on the writer lock.
-// OrderHash and OrderInsertion never enter it.
+// maybeResort restores hit-count (or probe-cost) order before a read-path
+// scan. At most one reader performs the re-sort (TryLock); everyone else
+// proceeds with the current snapshot, so the read path never blocks on the
+// writer lock. OrderHash and OrderInsertion never enter it.
 func (c *Classifier) maybeResort() {
-	if c.opts.Order == OrderHitCount && c.dirty.Load() {
+	if c.opts.Order.resorts() && c.dirty.Load() {
 		if c.mu.TryLock() {
 			c.resortLocked()
 			c.mu.Unlock()
@@ -862,15 +961,59 @@ func (c *Classifier) mutableLocked(g *group) (*group, int) {
 // the new entry overlaps a different existing entry, Insert returns
 // *ErrOverlap and the cache is unchanged (unless the check is disabled).
 func (c *Classifier) Insert(e *Entry, now int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.insertLocked(e, now)
+	if err == nil {
+		c.publishLocked()
+	}
+	return err
+}
+
+// InsertBatch adds a batch of megaflows in one copy-on-write transaction:
+// the per-entry semantics are exactly Insert's (idempotent refresh,
+// overlap rejection, per-entry error in the returned slice, aligned with
+// es), but every group the batch touches is cloned at most once and the
+// snapshot is published exactly once at commit. A handler draining a
+// K-miss burst therefore pays one O(|M|) probe-mirror copy instead of K —
+// the pvector-republish amortisation OVS applies to megaflow install
+// bursts, and the writer-side counterpart of the paper's Observation 1
+// (the publish bill, like the scan, is linear in |M|).
+//
+// Entries that fail validation or overlap an existing megaflow get their
+// error recorded and do not block the rest of the batch; the snapshot is
+// published if at least one entry landed. The returned slice is nil when
+// es is empty.
+func (c *Classifier) InsertBatch(es []*Entry, now int64) []error {
+	if len(es) == 0 {
+		return nil
+	}
+	errs := make([]error, len(es))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ok := 0
+	for i, e := range es {
+		if errs[i] = c.insertLocked(e, now); errs[i] == nil {
+			ok++
+		}
+	}
+	if ok > 0 {
+		c.publishLocked()
+	}
+	return errs
+}
+
+// insertLocked is one entry's insert under the writer lock, with the
+// snapshot publication left to the caller: Insert publishes per call,
+// InsertBatch once per batch. Until that publication the mutated groups
+// stay thawed, so a batch touching one group repeatedly clones it once.
+func (c *Classifier) insertLocked(e *Entry, now int64) error {
 	if len(e.Key) != c.layout.Words() || len(e.Mask) != c.layout.Words() {
 		return fmt.Errorf("tss: entry vector length mismatch")
 	}
 	if !e.Key.SubsetOf(e.Mask) {
 		return fmt.Errorf("tss: entry key has bits outside its mask")
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-
 	mk := e.Mask.Key()
 	g := c.byMask[mk]
 	if g != nil {
@@ -885,7 +1028,6 @@ func (c *Classifier) Insert(e *Entry, now int64) error {
 			g, gi := c.mutableLocked(g)
 			g.replace(old, e)
 			c.probes[gi] = buildProbe(g)
-			c.publishLocked()
 			return nil
 		}
 	}
@@ -911,7 +1053,6 @@ func (c *Classifier) Insert(e *Entry, now int64) error {
 	}
 	c.nEntry++
 	c.inserted++
-	c.publishLocked()
 	return nil
 }
 
@@ -962,21 +1103,72 @@ func (c *Classifier) placeLocked() {
 	c.probes = append(c.probes, scanProbe{})
 	copy(c.probes[pos+1:], c.probes[pos:len(c.probes)-1])
 	c.probes[pos] = buildProbe(g)
-	if c.opts.Order == OrderHitCount {
-		// Appended for now; the lazy resort restores hit-count order.
+	if c.opts.Order.resorts() {
+		// Appended for now; the lazy resort restores the measured order.
 		c.dirty.Store(true)
 	}
 }
 
-// resortLocked re-sorts hit-count order lazily, rebuilds the probe
-// mirror, and publishes the re-ordered snapshot.
+// costSorter stably sorts the writer-side group order by descending
+// snapshotted probe-cost key, keeping the two slices in tandem.
+type costSorter struct {
+	groups []*group
+	keys   []float64
+}
+
+func (s *costSorter) Len() int           { return len(s.groups) }
+func (s *costSorter) Less(i, j int) bool { return s.keys[i] > s.keys[j] }
+func (s *costSorter) Swap(i, j int) {
+	s.groups[i], s.groups[j] = s.groups[j], s.groups[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// probeCostKey is the OrderProbeCost sort key: hits per mean word touched
+// per probe. A probe that bailed at a stage boundary touched roughly one
+// word; a full probe touched every nonzero mask word. With no probes
+// observed (or staging off and so no skips) the mean is the word count, and
+// masks of equal width order exactly as OrderHitCount would.
+func probeCostKey(g *group) float64 {
+	words := float64(len(g.words))
+	if words == 0 {
+		words = 1
+	}
+	mean := words
+	if probes := float64(atomic.LoadUint64(g.probes)); probes > 0 {
+		skips := float64(atomic.LoadUint64(g.skips))
+		mean = ((probes-skips)*words + skips) / probes
+	}
+	return float64(atomic.LoadUint64(g.hits)) / mean
+}
+
+// resortLocked re-sorts the measured scan order (hit count, or hits per
+// measured probe cost) lazily, rebuilds the probe mirror, and publishes
+// the re-ordered snapshot.
 func (c *Classifier) resortLocked() {
-	if c.opts.Order != OrderHitCount || !c.dirty.Load() {
+	if !c.opts.Order.resorts() || !c.dirty.Load() {
 		return
 	}
-	sort.SliceStable(c.groups, func(i, j int) bool {
-		return atomic.LoadUint64(c.groups[i].hits) > atomic.LoadUint64(c.groups[j].hits)
-	})
+	if c.opts.Order == OrderProbeCost {
+		// Keys are snapshotted before sorting: concurrent readers keep
+		// bumping the counters, and a comparator re-reading them mid-sort
+		// would not be a consistent ordering. The scratch slices live on
+		// the classifier (we hold c.mu) — under traffic every hit dirties
+		// the order, so re-sorts are frequent enough that per-resort
+		// O(|M|) allocations would be real garbage.
+		n := len(c.groups)
+		if cap(c.costKeys) < n {
+			c.costKeys = make([]float64, n)
+		}
+		keys := c.costKeys[:n]
+		for i, g := range c.groups {
+			keys[i] = probeCostKey(g)
+		}
+		sort.Stable(&costSorter{groups: c.groups, keys: keys})
+	} else {
+		sort.SliceStable(c.groups, func(i, j int) bool {
+			return atomic.LoadUint64(c.groups[i].hits) > atomic.LoadUint64(c.groups[j].hits)
+		})
+	}
 	c.probes = c.probes[:0]
 	for _, g := range c.groups {
 		c.probes = append(c.probes, buildProbe(g))
@@ -1083,7 +1275,7 @@ func (c *Classifier) Stats() Stats {
 	}
 	c.shardsMu.Unlock()
 	c.mu.Lock()
-	s.Inserted, s.Deleted = c.inserted, c.deleted
+	s.Inserted, s.Deleted, s.Publishes = c.inserted, c.deleted, c.published
 	c.mu.Unlock()
 	return s
 }
@@ -1114,6 +1306,7 @@ func snapshotEntry(e *Entry) *Entry {
 	return &Entry{
 		Key: e.Key.Clone(), Mask: e.Mask.Clone(),
 		Action: e.Action, OutPort: e.OutPort, RuleName: e.RuleName,
+		Port:     e.Port,
 		LastUsed: atomic.LoadInt64(&e.LastUsed),
 		Hits:     atomic.LoadUint64(&e.Hits),
 	}

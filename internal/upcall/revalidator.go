@@ -8,6 +8,50 @@ import (
 	"tse/internal/vswitch"
 )
 
+// AdaptiveQuota parameterises revalidator-fed per-port quota adaptation:
+// OVS sizes its upcall rate limiter from observed load, and this is that
+// feedback loop for the simulated switch. Each revalidator sweep measures
+// every port's slow-path pressure — its live megaflow footprint plus the
+// entries expired or invalidated this sweep (churn: TSE megaflows are
+// installed once and never hit again, so they die in bulk at the idle
+// horizon) — and re-tunes the port's admission quota: at or below
+// TargetFootprint the port keeps BaseQuota untouched, beyond it the quota
+// shrinks inversely with pressure down to MinQuota. A flooding port
+// throttles itself within a few sweeps while victim ports, whose
+// footprint is a handful of megaflows, keep their full budget — and the
+// flooding port's quota recovers to BaseQuota once its state expires.
+type AdaptiveQuota struct {
+	// BaseQuota is the per-port per-second admission budget at rest, and
+	// the adaptive maximum. Required > 0.
+	BaseQuota int
+	// MinQuota floors the adapted quota so a throttled port can still
+	// install the occasional megaflow (and so recover); <= 0 selects 1.
+	MinQuota int
+	// TargetFootprint is the megaflow pressure a port may reach before
+	// its quota shrinks; <= 0 selects BaseQuota.
+	TargetFootprint int
+}
+
+// QuotaFor maps one port's measured pressure to its next admission quota.
+func (a AdaptiveQuota) QuotaFor(pressure int) int {
+	min := a.MinQuota
+	if min <= 0 {
+		min = 1
+	}
+	target := a.TargetFootprint
+	if target <= 0 {
+		target = a.BaseQuota
+	}
+	if pressure <= target {
+		return a.BaseQuota
+	}
+	q := a.BaseQuota * target / pressure
+	if q < min {
+		q = min
+	}
+	return q
+}
+
 // Revalidator is the megaflow-lifecycle loop of the asynchronous slow
 // path, modelled on OVS's revalidator threads: on each sweep it dumps the
 // megaflow cache, expires entries idle past the timeout, and re-checks the
@@ -16,8 +60,14 @@ import (
 // Monitor deletions — MFCGuard's sweeps — route through the same dump
 // machinery via DeleteMegaflows, so the repository has exactly one
 // megaflow-lifecycle path: vswitch.SweepMegaflows.
+//
+// With a Subsystem and an AdaptiveQuota configured, each sweep also
+// aggregates its dump per ingress port (tss.Entry.Port) and feeds the
+// per-port pressure back into the subsystem's admission quotas.
 type Revalidator struct {
 	sw       *vswitch.Switch
+	sub      *Subsystem
+	adapt    *AdaptiveQuota
 	interval int64
 	timeout  int64
 
@@ -38,6 +88,11 @@ type RevalidatorConfig struct {
 	// IdleTimeout overrides the switch's megaflow idle horizon for
 	// expiry; <= 0 keeps the switch's configured timeout.
 	IdleTimeout int64
+	// Subsystem, with Adapt, receives per-port quota updates derived from
+	// each sweep's dump statistics. Ports are the subsystem's sources.
+	Subsystem *Subsystem
+	// Adapt enables the adaptive per-port quota feedback loop.
+	Adapt *AdaptiveQuota
 }
 
 // RevalidatorStats aggregates revalidator activity.
@@ -62,7 +117,16 @@ func NewRevalidator(cfg RevalidatorConfig) (*Revalidator, error) {
 	if timeout <= 0 {
 		timeout = cfg.Switch.IdleTimeout()
 	}
-	return &Revalidator{sw: cfg.Switch, interval: cfg.IntervalSec, timeout: timeout}, nil
+	if cfg.Adapt != nil {
+		if cfg.Subsystem == nil {
+			return nil, fmt.Errorf("upcall: adaptive quotas need a subsystem to tune")
+		}
+		if cfg.Adapt.BaseQuota <= 0 {
+			return nil, fmt.Errorf("upcall: adaptive quotas need BaseQuota > 0")
+		}
+	}
+	return &Revalidator{sw: cfg.Switch, sub: cfg.Subsystem, adapt: cfg.Adapt,
+		interval: cfg.IntervalSec, timeout: timeout}, nil
 }
 
 // Tick runs a sweep at virtual time now if the cadence has elapsed,
@@ -91,28 +155,48 @@ func (r *Revalidator) Tick(now int64) vswitch.SweepResult {
 // the swap is marked settled, restoring the switch's strict
 // overlap-is-a-bug invariant.
 func (r *Revalidator) Sweep(now int64) vswitch.SweepResult {
+	// With adaptive quotas on, the sweep doubles as the per-port load
+	// sensor: pressure[p] counts port p's dumped entries — its live
+	// megaflow footprint plus whatever this sweep deletes (the churn of a
+	// flood whose megaflows die unhit at the idle horizon).
+	var pressure map[int]int
+	if r.adapt != nil {
+		pressure = make(map[int]int)
+	}
+	track := func(e *tss.Entry) {
+		if pressure != nil {
+			pressure[e.Port]++
+		}
+	}
+	var res vswitch.SweepResult
 	if !r.sw.NeedsRevalidation() {
-		res := r.sw.SweepMegaflows(func(e *tss.Entry) vswitch.SweepDecision {
+		res = r.sw.SweepMegaflows(func(e *tss.Entry) vswitch.SweepDecision {
+			track(e)
 			if now-e.LastUsedAt() >= r.timeout {
 				return vswitch.SweepExpire
 			}
 			return vswitch.SweepKeep
 		})
-		r.record(res)
-		return res
+	} else {
+		seq := r.sw.GenSeq()
+		gen := r.sw.Generator()
+		res = r.sw.SweepMegaflows(func(e *tss.Entry) vswitch.SweepDecision {
+			track(e)
+			if now-e.LastUsedAt() >= r.timeout {
+				return vswitch.SweepExpire
+			}
+			if !vswitch.Revalidate(gen, e) {
+				return vswitch.SweepInvalidate
+			}
+			return vswitch.SweepKeep
+		})
+		r.sw.MarkRevalidated(seq)
 	}
-	seq := r.sw.GenSeq()
-	gen := r.sw.Generator()
-	res := r.sw.SweepMegaflows(func(e *tss.Entry) vswitch.SweepDecision {
-		if now-e.LastUsedAt() >= r.timeout {
-			return vswitch.SweepExpire
+	if r.adapt != nil {
+		for src := 0; src < r.sub.Sources(); src++ {
+			r.sub.SetQuota(src, r.adapt.QuotaFor(pressure[src]))
 		}
-		if !vswitch.Revalidate(gen, e) {
-			return vswitch.SweepInvalidate
-		}
-		return vswitch.SweepKeep
-	})
-	r.sw.MarkRevalidated(seq)
+	}
 	r.record(res)
 	return res
 }

@@ -64,12 +64,28 @@ type Options struct {
 	Handlers int
 	// QuotaPerSource is the OVS-style upcall rate limit: the number of
 	// upcalls each source may admit per virtual second; 0 disables the
-	// quota. Deduplicated misses consume no quota.
+	// quota. Deduplicated misses consume no quota. Sources are ingress
+	// vports in the port-aware datapath (OVS rate-limits upcalls at vport
+	// granularity), so a victim port never shares its bucket with a
+	// flooding port that happens to land on the same PMD worker. SetQuota
+	// overrides the value per source — the seam the adaptive controller
+	// (AdaptiveQuota, driven by the revalidator) tunes at runtime.
 	QuotaPerSource int
+	// HandlerBurst is the number of queued upcalls a handler drains and
+	// resolves as one batch: the burst shares one flow-table classification
+	// pass and ONE megaflow-install transaction (vswitch.HandleMissBatch →
+	// tss.InsertBatch), so the classifier's O(|M|) copy-on-write publish
+	// is paid once per burst instead of once per megaflow. <= 0 selects
+	// DefaultHandlerBurst.
+	HandlerBurst int
 	// DisableDedup turns off the pending-table flow-miss deduplication
 	// (ablation: every admitted miss becomes its own upcall).
 	DisableDedup bool
 }
+
+// DefaultHandlerBurst is the handler drain burst size, matching the
+// datapath's NETDEV_MAX_BURST-sized receive bursts.
+const DefaultHandlerBurst = 32
 
 // Outcome classifies what Submit did with one flow miss.
 type Outcome int
@@ -132,12 +148,30 @@ type pendingFlow struct {
 	verdict vswitch.Verdict
 }
 
+// flowKey identifies one in-flight flow in the pending table: the exact
+// header scoped by its source. Scoping by source mirrors OVS, where the
+// ingress port is part of the flow key — the same header arriving on two
+// vports is two flows, and deduplicating them together would let one
+// port's pending upcall mask another port's distinct miss.
+type flowKey struct {
+	src int
+	key string
+}
+
 // item is one queued upcall.
 type item struct {
 	h   bitvec.Vec
 	now int64
-	key string
+	src int
+	key flowKey
 	p   *pendingFlow
+}
+
+// SourceStats is one source's (vport's) share of the admission counters.
+type SourceStats struct {
+	// Enqueued and Deduped count admitted misses; QueueDrops and
+	// QuotaDrops count refusals by reason.
+	Enqueued, Deduped, QueueDrops, QuotaDrops uint64
 }
 
 // Ticket is a handle on a submitted upcall. The zero Ticket (returned for
@@ -171,18 +205,20 @@ type Subsystem struct {
 	sw   *vswitch.Switch
 	opts Options
 
-	mu      sync.Mutex
-	cond    *sync.Cond // signalled on enqueue; handlers wait here
-	queues  [][]item   // per-source FIFO, heads[i] is the pop position
-	heads   []int
-	pending map[string]*pendingFlow
-	tokens  []int   // per-source quota tokens for the current second
-	tokenAt []int64 // virtual second the tokens were refilled at
-	next    int     // round-robin drain cursor
-	depth   int     // total queued items
-	stats   Stats
-	stopped bool
-	started bool
+	mu       sync.Mutex
+	cond     *sync.Cond // signalled on enqueue; handlers wait here
+	queues   [][]item   // per-source FIFO, heads[i] is the pop position
+	heads    []int
+	pending  map[flowKey]*pendingFlow
+	tokens   []int   // per-source quota tokens for the current second
+	tokenAt  []int64 // virtual second the tokens were refilled at
+	quota    []int   // per-source quota overrides; -1 = Options.QuotaPerSource
+	srcStats []SourceStats
+	next     int // round-robin drain cursor
+	depth    int // total queued items
+	stats    Stats
+	stopped  bool
+	started  bool
 
 	wg sync.WaitGroup // handler goroutines
 }
@@ -197,19 +233,61 @@ func New(sw *vswitch.Switch, sources int, opts Options) (*Subsystem, error) {
 		sources = 1
 	}
 	u := &Subsystem{
-		sw:      sw,
-		opts:    opts,
-		queues:  make([][]item, sources),
-		heads:   make([]int, sources),
-		pending: make(map[string]*pendingFlow),
-		tokens:  make([]int, sources),
-		tokenAt: make([]int64, sources),
+		sw:       sw,
+		opts:     opts,
+		queues:   make([][]item, sources),
+		heads:    make([]int, sources),
+		pending:  make(map[flowKey]*pendingFlow),
+		tokens:   make([]int, sources),
+		tokenAt:  make([]int64, sources),
+		quota:    make([]int, sources),
+		srcStats: make([]SourceStats, sources),
 	}
 	u.cond = sync.NewCond(&u.mu)
 	for i := range u.tokenAt {
 		u.tokenAt[i] = math.MinInt64 // force a refill on the first Submit
+		u.quota[i] = -1              // no override: Options.QuotaPerSource
 	}
 	return u, nil
+}
+
+// SetQuota overrides one source's per-second admission quota, with
+// Options.QuotaPerSource semantics (0 disables the quota for the source);
+// a negative value removes the override. The adaptive controller calls
+// this from the revalidator's sweep; it takes effect at the source's next
+// token refill (the next virtual second).
+func (u *Subsystem) SetQuota(src, quota int) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if quota < 0 {
+		quota = -1
+	}
+	u.quota[src] = quota
+}
+
+// QuotaFor returns the source's effective per-second admission quota
+// (0 = unlimited).
+func (u *Subsystem) QuotaFor(src int) int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.quotaForLocked(src)
+}
+
+func (u *Subsystem) quotaForLocked(src int) int {
+	if q := u.quota[src]; q >= 0 {
+		return q
+	}
+	return u.opts.QuotaPerSource
+}
+
+// PerSource returns a snapshot of each source's admission counters — the
+// per-vport fairness ledger (who was admitted, who was refused, and why).
+func (u *Subsystem) PerSource() []SourceStats {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	out := make([]SourceStats, len(u.srcStats))
+	copy(out, u.srcStats)
+	return out
 }
 
 // Switch returns the subsystem's switch.
@@ -226,10 +304,11 @@ func (u *Subsystem) Sources() int { return len(u.queues) }
 func (u *Subsystem) Submit(src int, h bitvec.Vec, now int64) (Ticket, Outcome) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	key := h.Key()
+	key := flowKey{src: src, key: h.Key()}
 	if !u.opts.DisableDedup {
 		if p, ok := u.pending[key]; ok {
 			u.stats.Deduped++
+			u.srcStats[src].Deduped++
 			return Ticket{p}, Coalesced
 		}
 	}
@@ -239,15 +318,17 @@ func (u *Subsystem) Submit(src int, h bitvec.Vec, now int64) (Ticket, Outcome) {
 	// victim's own flow setup) are entitled to.
 	if u.opts.QueueCap > 0 && len(u.queues[src])-u.heads[src] >= u.opts.QueueCap {
 		u.stats.QueueDrops++
+		u.srcStats[src].QueueDrops++
 		return Ticket{}, DroppedQueueFull
 	}
-	if u.opts.QuotaPerSource > 0 {
+	if q := u.quotaForLocked(src); q > 0 {
 		if u.tokenAt[src] != now {
 			u.tokenAt[src] = now
-			u.tokens[src] = u.opts.QuotaPerSource
+			u.tokens[src] = q
 		}
 		if u.tokens[src] == 0 {
 			u.stats.QuotaDrops++
+			u.srcStats[src].QuotaDrops++
 			return Ticket{}, DroppedQuota
 		}
 		u.tokens[src]--
@@ -258,12 +339,13 @@ func (u *Subsystem) Submit(src int, h bitvec.Vec, now int64) (Ticket, Outcome) {
 	}
 	// Clone: the caller's header buffer may be reused before a handler
 	// gets to the upcall.
-	u.queues[src] = append(u.queues[src], item{h: h.Clone(), now: now, key: key, p: p})
+	u.queues[src] = append(u.queues[src], item{h: h.Clone(), now: now, src: src, key: key, p: p})
 	u.depth++
 	if u.depth > u.stats.MaxBacklog {
 		u.stats.MaxBacklog = u.depth
 	}
 	u.stats.Enqueued++
+	u.srcStats[src].Enqueued++
 	u.cond.Signal()
 	return Ticket{p}, Enqueued
 }
@@ -301,19 +383,52 @@ func (u *Subsystem) SubmitSync(src int, h bitvec.Vec, now int64) (vswitch.Verdic
 // number handled. The dataplane simulator calls this once per virtual
 // second with the modelled handler service rate; math.MaxInt drains
 // everything.
+//
+// Draining proceeds in bursts of Options.HandlerBurst: the round-robin pop
+// order is unchanged (fairness is decided at pop time, item by item), but
+// each burst is resolved through one vswitch.HandleMissBatch, so a K-item
+// burst installs its megaflows in one classifier transaction with one
+// snapshot publish.
 func (u *Subsystem) HandleN(max int) int {
 	n := 0
+	burst := u.burstSize()
+	items := make([]item, 0, burst)
 	for n < max {
+		size := burst
+		if left := max - n; left < size {
+			size = left
+		}
 		u.mu.Lock()
-		it, ok := u.popAnyLocked()
+		items = u.popBurstLocked(items[:0], size)
 		u.mu.Unlock()
+		if len(items) == 0 {
+			break
+		}
+		u.handleBatch(items)
+		n += len(items)
+	}
+	return n
+}
+
+// burstSize resolves the configured handler drain burst.
+func (u *Subsystem) burstSize() int {
+	if u.opts.HandlerBurst > 0 {
+		return u.opts.HandlerBurst
+	}
+	return DefaultHandlerBurst
+}
+
+// popBurstLocked pops up to max queued upcalls round-robin into items.
+// Callers hold u.mu.
+func (u *Subsystem) popBurstLocked(items []item, max int) []item {
+	for len(items) < max {
+		it, ok := u.popAnyLocked()
 		if !ok {
 			break
 		}
-		u.handle(it)
-		n++
+		items = append(items, it)
 	}
-	return n
+	return items
 }
 
 // DrainAll handles every queued upcall and returns the number handled.
@@ -366,30 +481,64 @@ func (u *Subsystem) Stats() Stats {
 	return st
 }
 
-// handlerLoop is one handler goroutine: block while idle, otherwise pop
-// round-robin and handle.
+// handlerLoop is one handler goroutine: block while idle, otherwise pop a
+// round-robin burst and resolve it as one batch (one classifier
+// transaction per burst, see HandleN).
 func (u *Subsystem) handlerLoop() {
 	defer u.wg.Done()
+	burst := u.burstSize()
+	items := make([]item, 0, burst)
 	for {
 		u.mu.Lock()
 		for u.depth == 0 && !u.stopped {
 			u.cond.Wait()
 		}
-		it, ok := u.popAnyLocked()
+		items = u.popBurstLocked(items[:0], burst)
 		u.mu.Unlock()
-		if !ok {
+		if len(items) == 0 {
 			return // stopped and drained
 		}
-		u.handle(it)
+		u.handleBatch(items)
 	}
 }
 
 // handle resolves one upcall: the handler-side slow path. The verdict
-// comes from vswitch.HandleMiss — classification plus megaflow install —
-// stamped with the miss's own virtual time, exactly as the inline pipeline
-// stamps it. The pending entry is then retired and every waiter released.
+// comes from vswitch.HandleMissFrom — classification plus megaflow
+// install, attributed to the miss's ingress port — stamped with the miss's
+// own virtual time, exactly as the inline pipeline stamps it. The pending
+// entry is then retired and every waiter released. This is the drive-mode
+// (SubmitSync) path; handler drains batch through handleBatch instead.
 func (u *Subsystem) handle(it item) {
-	v := u.sw.HandleMiss(it.h, it.now)
+	v := u.sw.HandleMissFrom(it.src, it.h, it.now)
+	u.resolve(it, v)
+}
+
+// handleBatch resolves one drained burst through the batched slow path:
+// one flow-table classification pass and ONE megaflow-install transaction
+// (single snapshot publish) for the whole burst, stamped at the burst's
+// latest miss time. Every waiter of every flow in the burst is released.
+func (u *Subsystem) handleBatch(items []item) {
+	if len(items) == 1 {
+		u.handle(items[0])
+		return
+	}
+	now := items[0].now
+	ms := make([]vswitch.Miss, len(items))
+	for i, it := range items {
+		if it.now > now {
+			now = it.now
+		}
+		ms[i] = vswitch.Miss{Port: it.src, Header: it.h}
+	}
+	vs := u.sw.HandleMissBatch(ms, now)
+	for i, it := range items {
+		u.resolve(it, vs[i])
+	}
+}
+
+// resolve retires one handled upcall's pending entry and releases its
+// waiters.
+func (u *Subsystem) resolve(it item, v vswitch.Verdict) {
 	u.mu.Lock()
 	if u.pending[it.key] == it.p {
 		delete(u.pending, it.key)
