@@ -279,8 +279,15 @@ const (
 	// FairnessPortKeyed keys a static quota on the ingress vport.
 	FairnessPortKeyed PortFairnessMode = "portkeyed"
 	// FairnessAdaptive is port-keyed with the revalidator feedback loop
-	// shrinking the flooding port's quota.
+	// shrinking the flooding port's quota — the de-flapped two-input
+	// controller (EWMA-smoothed megaflow pressure + backlog residence,
+	// hysteresis bands around the quota in force).
 	FairnessAdaptive PortFairnessMode = "adaptive"
+	// FairnessAdaptiveRaw is the controller ablation: the original raw
+	// single-input map (QuotaFor applied verbatim every sweep), which
+	// visibly flaps ±1 quota steps on a noisy plateau and bounces to
+	// BaseQuota after churn events.
+	FairnessAdaptiveRaw PortFairnessMode = "adaptiveraw"
 )
 
 // churnACL returns the SipSpDp ACL with a top-priority allow rule for an
@@ -377,6 +384,18 @@ func PortFairnessScenario(mode PortFairnessMode) (*Scenario, error) {
 		up.WorkerKeyedQuota = true
 	case FairnessPortKeyed:
 	case FairnessAdaptive:
+		// The de-flapped controller: both signals smoothed at the default
+		// alpha, the default ±50% hold band, and the residence input armed
+		// at 2 virtual seconds — with HandledPerSec 64 shared round-robin,
+		// a port whose upcalls wait >2 s has a standing backlog no victim
+		// ever builds.
+		up.Adaptive = &upcall.AdaptiveQuota{
+			BaseQuota: 64, MinQuota: 4, TargetFootprint: 64,
+			TargetResidenceSec: 2,
+			EWMAAlpha:          upcall.DefaultEWMAAlpha,
+			HysteresisPct:      upcall.DefaultHysteresisPct,
+		}
+	case FairnessAdaptiveRaw:
 		up.Adaptive = &upcall.AdaptiveQuota{BaseQuota: 64, MinQuota: 4, TargetFootprint: 64}
 	default:
 		return nil, fmt.Errorf("dataplane: unknown port-fairness mode %q", mode)

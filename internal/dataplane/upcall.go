@@ -76,6 +76,16 @@ type UpcallSample struct {
 	// workers under WorkerKeyedQuota.
 	PortQuota      []int
 	PortQuotaDrops []int
+	// FlowSetupP50 and FlowSetupP99 are this second's flow-setup latency
+	// percentiles in virtual seconds: how long the upcalls handled this
+	// second sat queued between admission and handler pop (the queueing
+	// delay a cache miss pays behind a flooded backlog before its
+	// megaflow installs). -1 when no upcall was handled this second.
+	FlowSetupP50, FlowSetupP99 int
+	// PortFlowSetupP50/P99 split the same percentiles per upcall source,
+	// aligned with PortQuota; -1 for sources that handled nothing this
+	// second.
+	PortFlowSetupP50, PortFlowSetupP99 []int
 }
 
 // portsOrNil returns the explicit ingress-port slice for port-aware
@@ -269,11 +279,15 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 		if budget <= 0 {
 			budget = math.MaxInt
 		}
-		handled := sub.HandleN(budget)
+		handled := sub.HandleNAt(budget, now)
 
 		st := sub.Stats()
 		per := sub.PerSource()
 		installs := sc.Switch.Counters().Installs
+		// This second's flow-setup latency distribution: the residence
+		// histograms are cumulative, so the per-second series is the delta
+		// against the previous sample's snapshot.
+		resDelta := st.Residence.Delta(prevStats.Residence)
 		usample := &UpcallSample{
 			Enqueued:       int(st.Enqueued - prevStats.Enqueued),
 			Deduped:        int(st.Deduped - prevStats.Deduped),
@@ -285,12 +299,19 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 			Expired:        rvRes.Expired,
 			Invalidated:    rvRes.Invalidated,
 			HandlerCost:    float64(handled) * sc.NIC.SlowPathCost,
-			PortQuota:      make([]int, len(per)),
-			PortQuotaDrops: make([]int, len(per)),
+			PortQuota:        make([]int, len(per)),
+			PortQuotaDrops:   make([]int, len(per)),
+			FlowSetupP50:     int(resDelta.P50()),
+			FlowSetupP99:     int(resDelta.P99()),
+			PortFlowSetupP50: make([]int, len(per)),
+			PortFlowSetupP99: make([]int, len(per)),
 		}
 		for p := range per {
 			usample.PortQuota[p] = sub.QuotaFor(p)
 			usample.PortQuotaDrops[p] = int(per[p].QuotaDrops - prevPer[p].QuotaDrops)
+			d := per[p].Residence.Delta(prevPer[p].Residence)
+			usample.PortFlowSetupP50[p] = int(d.P50())
+			usample.PortFlowSetupP99[p] = int(d.P99())
 		}
 		prevStats, prevPer, prevInstalls = st, per, installs
 

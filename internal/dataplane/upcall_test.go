@@ -165,3 +165,74 @@ func avgVictimGbpsT(samples []Sample, from, to int) float64 {
 	}
 	return sum / float64(n)
 }
+
+// TestFlowSetupLatencySeries: the per-second flow-setup latency surfaced
+// on UpcallSample tracks the standing backlog — zero while the handlers
+// keep up, climbing toward queue-cap/service-rate once the bound bites,
+// recorded against the simulation clock even while a post-attack backlog
+// drains, and -1 on seconds with nothing handled.
+func TestFlowSetupLatencySeries(t *testing.T) {
+	sc := asyncScenario(t, &UpcallParams{
+		QueueCap: 32, QuotaPerPort: 12, HandledPerSec: 8, RevalidateSec: 1})
+	samples, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakP99 := -1
+	for _, s := range samples {
+		u := s.Upcall
+		if u == nil {
+			t.Fatal("async sample missing the upcall series")
+		}
+		if (u.FlowSetupP99 >= 0) != (u.Handled > 0) {
+			t.Errorf("second %d: p99 %d with %d handled; -1 iff nothing handled",
+				s.Sec, u.FlowSetupP99, u.Handled)
+		}
+		if u.FlowSetupP50 > u.FlowSetupP99 {
+			t.Errorf("second %d: p50 %d above p99 %d", s.Sec, u.FlowSetupP50, u.FlowSetupP99)
+		}
+		if len(u.PortFlowSetupP99) != len(u.PortQuota) {
+			t.Fatalf("second %d: per-port FCT len %d, quota len %d",
+				s.Sec, len(u.PortFlowSetupP99), len(u.PortQuota))
+		}
+		// Every pop is attributed to a source, so whenever the aggregate
+		// recorded residence this second, some port split did too (and
+		// vice versa).
+		maxPort := -1
+		for _, p := range u.PortFlowSetupP99 {
+			if p > maxPort {
+				maxPort = p
+			}
+		}
+		if (maxPort >= 0) != (u.FlowSetupP99 >= 0) {
+			t.Errorf("second %d: aggregate p99 %d vs per-port %v", s.Sec, u.FlowSetupP99, u.PortFlowSetupP99)
+		}
+		if u.FlowSetupP99 > peakP99 {
+			peakP99 = u.FlowSetupP99
+		}
+	}
+	// The vport admits 12/s against an 8/s handler budget, so the backlog
+	// climbs to the 32-entry cap and an admitted upcall waits ~32/8 = 4
+	// virtual seconds at peak.
+	if peakP99 < 2 {
+		t.Errorf("peak flow-setup p99 %d, want >= 2 (backlog never showed in the metric)", peakP99)
+	}
+	// Before the attack (seconds 0-1) the victim's own setup is instant.
+	for _, s := range samples[:2] {
+		if u := s.Upcall; u.Handled > 0 && u.FlowSetupP99 != 0 {
+			t.Errorf("second %d: pre-attack p99 %d, want 0", s.Sec, u.FlowSetupP99)
+		}
+	}
+	// The backlog keeps draining after the attack stops at 18, and those
+	// late pops must measure residence against the advancing clock (the
+	// HandleNAt path), not the last Submit tick.
+	post := false
+	for _, s := range samples {
+		if s.Sec > 18 && s.Upcall.Handled > 0 && s.Upcall.FlowSetupP99 > 0 {
+			post = true
+		}
+	}
+	if !post {
+		t.Error("no post-attack second recorded positive residence while draining the backlog")
+	}
+}

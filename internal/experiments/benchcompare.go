@@ -12,13 +12,16 @@ import (
 // watches: the O(|M|) mask-scan cost and the victim's lookup under attack
 // states (the quantities every perf PR in this repository exists to
 // move), the upcall submit path (admission must stay cheap or bounded
-// queues stop being a defense), and the megaflow-install publish cost —
+// queues stop being a defense), the megaflow-install publish cost —
 // per-install and batched — so the InsertBatch amortisation win cannot
-// silently regress. Other results (scenario summaries) are trajectory
-// data but not gated: they mix policy with speed.
+// silently regress, and the residence accounting on the upcall service
+// loop (the per-pop histogram update and the per-second quantile read the
+// flow-setup latency metric added). Other results (scenario summaries)
+// are trajectory data but not gated: they mix policy with speed.
 var regressionPrefixes = []string{
 	"tss_lookup_miss_", "victim_lookup_",
 	"tss_install_", "upcall_submit_", "upcall_roundtrip_",
+	"upcall_residence_",
 }
 
 // RegressionFactor is the slowdown the gate tolerates between two

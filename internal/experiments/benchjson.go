@@ -26,8 +26,10 @@ import (
 // GOMAXPROCS and a per-result worker count, so multi-worker results are
 // no longer conflated with single-core runs (the committed BENCH_pr2/pr3
 // files were measured on a num_cpu=1 host, which their multi-worker
-// figures silently inherited).
-const BenchSchema = "tse-bench/v3"
+// figures silently inherited); v4 adds the upcall_residence_*
+// micro-benchmarks, flow-setup latency (fct_*) fields on scenario rows,
+// and the portfairness adaptiveraw ablation scenario.
+const BenchSchema = "tse-bench/v4"
 
 // BenchResult is one measured micro-benchmark in the JSON report.
 type BenchResult struct {
@@ -74,6 +76,11 @@ type ScenarioResult struct {
 	VictimPreGbps   float64 `json:"victim_pre_gbps"`
 	VictimUnderGbps float64 `json:"victim_under_gbps"`
 	VictimPostGbps  float64 `json:"victim_post_gbps"`
+	// FctP50UnderSec/FctP99UnderSec are the worst per-second flow-setup
+	// latency percentiles during the attack window, in virtual seconds of
+	// upcall residence (-1 when the run handled no upcalls in the window).
+	FctP50UnderSec int `json:"fct_p50_under_sec"`
+	FctP99UnderSec int `json:"fct_p99_under_sec"`
 	// WallMs is the host wall-clock time of the run (informational; the
 	// scenario itself is virtual-time deterministic).
 	WallMs float64 `json:"wall_ms"`
@@ -359,6 +366,32 @@ func BenchJSON() (*BenchReport, error) {
 		})
 	}
 
+	// Flow-setup latency accounting: the per-pop histogram update every
+	// handled upcall now pays, and the quantile read the sampler and the
+	// revalidator's residence sensor issue once per virtual second. Both
+	// sit on the slow-path service loop, so the gate watches them.
+	{
+		var h upcall.LatencyHist
+		sec := int64(0)
+		add("upcall_residence_observe", nil, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Observe(sec & 15)
+				sec++
+			}
+		})
+		var q upcall.LatencyHist
+		for s := int64(0); s < 64; s++ {
+			q.Observe(s & 15)
+		}
+		add("upcall_residence_quantile", nil, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q.P99()
+			}
+		})
+	}
+
 	// Megaflow-install cost at 4096 masks: the copy-on-write publish bill
 	// of the lock-free read path, per install (the writer re-copies the
 	// O(|M|) probe mirror on every publish) vs amortised over a 32-entry
@@ -444,6 +477,8 @@ func BenchJSON() (*BenchReport, error) {
 			VictimPreGbps:   s.PreGbps,
 			VictimUnderGbps: s.UnderGbps,
 			VictimPostGbps:  s.PostGbps,
+			FctP50UnderSec:  s.FctP50Under,
+			FctP99UnderSec:  s.FctP99Under,
 			WallMs:          float64(wall.Nanoseconds()) / 1e6,
 		})
 		return nil
@@ -460,10 +495,13 @@ func BenchJSON() (*BenchReport, error) {
 
 	// The port-fairness suite: worker-keyed vs port-keyed vs adaptive
 	// quotas under the same flood + policy churn (see the portfairness
-	// experiment). Their victim_under rows are the fairness trajectory.
+	// experiment). Their victim_under rows are the fairness trajectory;
+	// adaptiveraw is the un-smoothed single-input controller kept as the
+	// flap ablation.
 	for _, mode := range []dataplane.PortFairnessMode{
 		dataplane.FairnessWorkerKeyed,
 		dataplane.FairnessPortKeyed,
+		dataplane.FairnessAdaptiveRaw,
 		dataplane.FairnessAdaptive,
 	} {
 		sc, err := dataplane.PortFairnessScenario(mode)

@@ -67,3 +67,29 @@ func BenchmarkRevalidatorSweep(b *testing.B) {
 		rv.Sweep(0)
 	}
 }
+
+// BenchmarkResidenceObserve measures the flow-setup latency accounting
+// added to every handler pop: one histogram update on the slow-path
+// service loop.
+func BenchmarkResidenceObserve(b *testing.B) {
+	var h upcall.LatencyHist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) & 15)
+	}
+}
+
+// BenchmarkResidenceQuantile measures the percentile read the dataplane
+// sampler and the revalidator's residence sensor issue per virtual second.
+func BenchmarkResidenceQuantile(b *testing.B) {
+	var h upcall.LatencyHist
+	for s := int64(0); s < 64; s++ {
+		h.Observe(s & 15)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if h.P99() < 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}

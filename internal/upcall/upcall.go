@@ -139,6 +139,10 @@ type Stats struct {
 	// current pending-table size (snapshot fields); MaxBacklog is the
 	// backlog high-water mark.
 	Backlog, PendingFlows, MaxBacklog int
+	// Residence aggregates flow-setup latency across all sources: how many
+	// virtual seconds each handled upcall sat queued between admission and
+	// handler pop (see LatencyHist).
+	Residence LatencyHist
 }
 
 // pendingFlow is one in-flight upcall: the cell every waiter of the flow
@@ -172,6 +176,13 @@ type SourceStats struct {
 	// Enqueued and Deduped count admitted misses; QueueDrops and
 	// QuotaDrops count refusals by reason.
 	Enqueued, Deduped, QueueDrops, QuotaDrops uint64
+	// Residence is the port's flow-setup latency histogram: the virtual
+	// seconds each of its handled upcalls spent queued between admission
+	// (the enqueue stamp, shared by every miss coalesced onto the upcall)
+	// and handler pop. Residence.P50()/P99() are the per-port flow-setup
+	// percentiles; the revalidator reads the same histogram as the
+	// backlog-residence input of the adaptive quota controller.
+	Residence LatencyHist
 }
 
 // Ticket is a handle on a submitted upcall. The zero Ticket (returned for
@@ -214,8 +225,9 @@ type Subsystem struct {
 	tokenAt  []int64 // virtual second the tokens were refilled at
 	quota    []int   // per-source quota overrides; -1 = Options.QuotaPerSource
 	srcStats []SourceStats
-	next     int // round-robin drain cursor
-	depth    int // total queued items
+	next     int   // round-robin drain cursor
+	depth    int   // total queued items
+	clock    int64 // latest virtual time observed (Submit / HandleNAt)
 	stats    Stats
 	stopped  bool
 	started  bool
@@ -304,6 +316,9 @@ func (u *Subsystem) Sources() int { return len(u.queues) }
 func (u *Subsystem) Submit(src int, h bitvec.Vec, now int64) (Ticket, Outcome) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
+	if now > u.clock {
+		u.clock = now
+	}
 	key := flowKey{src: src, key: h.Key()}
 	if !u.opts.DisableDedup {
 		if p, ok := u.pending[key]; ok {
@@ -390,6 +405,24 @@ func (u *Subsystem) SubmitSync(src int, h bitvec.Vec, now int64) (vswitch.Verdic
 // burst installs its megaflows in one classifier transaction with one
 // snapshot publish.
 func (u *Subsystem) HandleN(max int) int {
+	return u.handleN(max)
+}
+
+// HandleNAt is HandleN with an explicit drain time: the subsystem clock
+// advances to now before the pops, so the residence recorded for each
+// drained upcall is measured against the drain tick even when no Submit
+// has advanced the clock (a backlog draining after a flood stops). The
+// dataplane simulator's per-second drain uses this entry point.
+func (u *Subsystem) HandleNAt(max int, now int64) int {
+	u.mu.Lock()
+	if now > u.clock {
+		u.clock = now
+	}
+	u.mu.Unlock()
+	return u.handleN(max)
+}
+
+func (u *Subsystem) handleN(max int) int {
 	n := 0
 	burst := u.burstSize()
 	items := make([]item, 0, burst)
@@ -575,7 +608,10 @@ func (u *Subsystem) handleAny() bool {
 	return true
 }
 
-// popLocked removes the oldest upcall of source src. Callers hold u.mu.
+// popLocked removes the oldest upcall of source src and records its
+// residence — the virtual seconds between its enqueue stamp and the
+// subsystem clock at pop time, the queueing-delay component of flow-setup
+// latency. Callers hold u.mu.
 func (u *Subsystem) popLocked(src int) (item, bool) {
 	q := u.queues[src]
 	h := u.heads[src]
@@ -585,6 +621,9 @@ func (u *Subsystem) popLocked(src int) (item, bool) {
 	it := q[h]
 	q[h] = item{} // release the header and pending references
 	h++
+	res := u.clock - it.now
+	u.srcStats[src].Residence.Observe(res)
+	u.stats.Residence.Observe(res)
 	switch {
 	case h == len(q):
 		// Queue drained: rewind so the backing array is reused.
