@@ -4,9 +4,14 @@
 //
 //	tsebench -list           # show available experiment IDs
 //	tsebench -fig fig9a      # regenerate one table/figure
+//	tsebench -fig chaos      # fault-injection run: unsupervised wedge vs
+//	                         # supervised self-healing under the flood
 //	tsebench -fig all        # regenerate everything (takes ~1 min)
 //	tsebench -workers 6      # PMD datapath scaling table for 1 vs 6 cores
-//	tsebench -json BENCH.json  # write the hot-path perf suite as JSON
+//	tsebench -json BENCH.json  # write the perf suite as JSON (schema
+//	                         # tse-bench/v5: hot-path benches + scenario
+//	                         # rows incl. handler_restarts, breaker_trips,
+//	                         # recovery_sec)
 //	tsebench -compare OLD.json NEW.json  # CI regression gate over two
 //	                         # committed BENCH files (>2x slowdown of the
 //	                         # mask-scan/victim-lookup families fails)

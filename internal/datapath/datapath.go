@@ -107,6 +107,10 @@ type WorkerStats struct {
 	// Upcalls counts misses submitted to the upcall subsystem (admitted
 	// or coalesced); UpcallDrops counts misses refused at admission.
 	Upcalls, UpcallDrops uint64
+	// UpcallShed counts the UpcallDrops subset fast-failed by an open SLO
+	// circuit breaker (upcall.DroppedBreaker): deliberate load shedding,
+	// not queue/quota exhaustion.
+	UpcallShed uint64
 	// EMC snapshots the worker's private exact-match cache counters
 	// (hits, misses, evictions); zero when the EMC is disabled. Filled by
 	// Stats/Totals so multicore runs report cache behaviour without
@@ -132,6 +136,9 @@ type PortStats struct {
 	// Upcalls counts the port's admitted or coalesced flow misses;
 	// UpcallDrops counts its misses refused at admission.
 	Upcalls, UpcallDrops uint64
+	// UpcallShed counts the UpcallDrops subset shed by the port's open
+	// circuit breaker.
+	UpcallShed uint64
 }
 
 // Pool is a set of PMD workers sharing one switch. A pool is driven by a
@@ -503,6 +510,10 @@ func (w *worker) miss(p *Pool, h bitvec.Vec, port int, now int64, i, probes int,
 		if o.Dropped() {
 			w.stats.UpcallDrops++
 			w.portStats[port].UpcallDrops++
+			if o == upcall.DroppedBreaker {
+				w.stats.UpcallShed++
+				w.portStats[port].UpcallShed++
+			}
 			return vswitch.Verdict{Action: flowtable.Drop, Path: vswitch.PathUpcallDrop, Probes: probes}
 		}
 		w.stats.Upcalls++
@@ -513,6 +524,10 @@ func (w *worker) miss(p *Pool, h bitvec.Vec, port int, now int64, i, probes int,
 	if o.Dropped() {
 		w.stats.UpcallDrops++
 		w.portStats[port].UpcallDrops++
+		if o == upcall.DroppedBreaker {
+			w.stats.UpcallShed++
+			w.portStats[port].UpcallShed++
+		}
 		return vswitch.Verdict{Action: flowtable.Drop, Path: vswitch.PathUpcallDrop, Probes: probes}
 	}
 	w.stats.Upcalls++
@@ -560,6 +575,7 @@ func (p *Pool) Totals() WorkerStats {
 		t.StageSkips += s.StageSkips
 		t.Upcalls += s.Upcalls
 		t.UpcallDrops += s.UpcallDrops
+		t.UpcallShed += s.UpcallShed
 		t.EMC.Hits += s.EMC.Hits
 		t.EMC.Misses += s.EMC.Misses
 		t.EMC.Evictions += s.EMC.Evictions
@@ -569,6 +585,7 @@ func (p *Pool) Totals() WorkerStats {
 			t.Ports[i].Dropped += ps.Dropped
 			t.Ports[i].Upcalls += ps.Upcalls
 			t.Ports[i].UpcallDrops += ps.UpcallDrops
+			t.Ports[i].UpcallShed += ps.UpcallShed
 		}
 	}
 	return t

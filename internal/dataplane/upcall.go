@@ -5,6 +5,7 @@ import (
 
 	"tse/internal/bitvec"
 	"tse/internal/datapath"
+	"tse/internal/faults"
 	"tse/internal/upcall"
 	"tse/internal/vswitch"
 )
@@ -52,6 +53,38 @@ type UpcallParams struct {
 	// expiry and additionally re-checks entries against the current flow
 	// table, so mid-run ACL injections take effect at this cadence.
 	RevalidateSec int64
+
+	// ModelledHandlers is the drive-mode handler fleet size the fault
+	// model spreads HandledPerSec across (a dead handler costs its 1/N
+	// service share); <= 0 selects 1. Only meaningful with Faults.
+	ModelledHandlers int
+	// StallTimeoutSec is the modelled supervisor's stall-detection horizon
+	// in virtual seconds; <= 0 selects upcall.DefaultStallTimeoutSec.
+	StallTimeoutSec int64
+	// DisableSupervisor is the chaos ablation: dead handlers are never
+	// respawned and their orphaned in-flight upcalls leak in the pending
+	// table (see upcall.Options.DisableSupervisor).
+	DisableSupervisor bool
+	// FailOrphans fails orphaned in-flight upcalls with an error verdict
+	// instead of requeueing them.
+	FailOrphans bool
+	// PendingAgeSec is the revalidator's orphaned-pending-entry reap
+	// horizon (upcall.RevalidatorConfig.PendingAgeSec semantics: 0
+	// defaults, negative disables).
+	PendingAgeSec int64
+	// BreakerSLOSec enables the per-port SLO circuit breaker at the given
+	// backlog-residence p99 SLO; TripAfter, BreakerCooldownSec,
+	// HalfOpenProbes and BreakerEWMAAlpha refine it (upcall.Breaker
+	// semantics; zero values select the upcall defaults).
+	BreakerSLOSec      int64
+	TripAfter          int
+	BreakerCooldownSec int64
+	HalfOpenProbes     int
+	BreakerEWMAAlpha   float64
+	// Faults is the optional deterministic fault schedule, threaded into
+	// the upcall subsystem (handler panics/stalls, delivery faults), the
+	// revalidator (sweep stalls) and the switch (install errors).
+	Faults *faults.Plan
 }
 
 // UpcallSample is the per-second queue/handler/revalidator series of an
@@ -86,6 +119,25 @@ type UpcallSample struct {
 	// aligned with PortQuota; -1 for sources that handled nothing this
 	// second.
 	PortFlowSetupP50, PortFlowSetupP99 []int
+	// PendingFlows is the pending-table size at the end of the second: a
+	// value that stays elevated after the backlog drains is the leak
+	// signature the supervisor/reaper exist to prevent.
+	PendingFlows int
+	// HandlerPanics, StallsDetected and HandlerRestarts are this second's
+	// supervisor events; Requeued counts orphaned in-flight upcalls
+	// returned to the queues and PendingReaped aged-out pending entries
+	// failed by the revalidator's reaper.
+	HandlerPanics, StallsDetected, HandlerRestarts, Requeued, PendingReaped int
+	// BreakerTrips counts breakers tripping open this second and
+	// BreakerShed submissions fast-failed by non-closed breakers;
+	// PortBreaker is each source's breaker phase at the end of the second
+	// ("closed"/"open"/"half-open"), nil when the breaker is disabled.
+	BreakerTrips, BreakerShed int
+	PortBreaker               []string
+	// InstallErrors counts megaflow installs failed by the injected
+	// install fault this second; SweepStalls counts revalidator sweeps an
+	// injected stall suppressed.
+	InstallErrors, SweepStalls int
 }
 
 // portsOrNil returns the explicit ingress-port slice for port-aware
@@ -141,20 +193,48 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 		// Handlers stays 0: the simulator owns the drain (HandleN below)
 		// so runs are deterministic.
 		Upcall: &upcall.Options{
-			QueueCap:       up.QueueCap,
-			QuotaPerSource: quota,
-			DisableDedup:   up.DisableDedup,
+			QueueCap:          up.QueueCap,
+			QuotaPerSource:    quota,
+			DisableDedup:      up.DisableDedup,
+			ModelledHandlers:  up.ModelledHandlers,
+			StallTimeoutSec:   up.StallTimeoutSec,
+			DisableSupervisor: up.DisableSupervisor,
+			FailOrphans:       up.FailOrphans,
+			Injector:          up.Faults,
+			Breaker: upcall.Breaker{
+				SLOSec:         up.BreakerSLOSec,
+				TripAfter:      up.TripAfter,
+				CooldownSec:    up.BreakerCooldownSec,
+				HalfOpenProbes: up.HalfOpenProbes,
+				EWMAAlpha:      up.BreakerEWMAAlpha,
+			},
 		},
 		DisableEMC: true,
 	})
 	if err != nil {
 		return nil, err
 	}
+	if up.Faults != nil {
+		// Install errors are the switch's side of the fault schedule: a
+		// window during which HandleMissFrom refuses to install megaflows,
+		// so every packet of the affected flows keeps missing.
+		sc.Switch.SetInstallFault(up.Faults.InstallErrorAt)
+	}
 	sub := pool.Upcalls()
-	rvCfg := upcall.RevalidatorConfig{Switch: sc.Switch, IntervalSec: up.RevalidateSec}
+	rvCfg := upcall.RevalidatorConfig{
+		Switch:        sc.Switch,
+		IntervalSec:   up.RevalidateSec,
+		PendingAgeSec: up.PendingAgeSec,
+		Injector:      up.Faults,
+	}
 	if up.Adaptive != nil {
 		rvCfg.Subsystem = sub
 		rvCfg.Adapt = up.Adaptive
+	}
+	if up.PendingAgeSec != 0 || up.Faults != nil {
+		// The pending reaper needs the subsystem even without the adaptive
+		// controller.
+		rvCfg.Subsystem = sub
 	}
 	rv, err := upcall.NewRevalidator(rvCfg)
 	if err != nil {
@@ -171,6 +251,8 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 	prevStats := sub.Stats()
 	prevPer := sub.PerSource()
 	prevInstalls := sc.Switch.Counters().Installs
+	prevInstallErrs := sc.Switch.Counters().InstallErrors
+	prevSweepStalls := rv.Stats().SweepStalls
 	for t := 0; t < sc.DurationSec; t++ {
 		now := int64(t)
 		// The revalidator owns megaflow lifecycle: idle expiry plus
@@ -280,10 +362,15 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 			budget = math.MaxInt
 		}
 		handled := sub.HandleNAt(budget, now)
+		// Breakers advance on the same cadence as the handler drain: each
+		// virtual second is one observation interval.
+		sub.TickBreakers(now)
 
 		st := sub.Stats()
 		per := sub.PerSource()
-		installs := sc.Switch.Counters().Installs
+		counters := sc.Switch.Counters()
+		installs := counters.Installs
+		sweepStalls := rv.Stats().SweepStalls
 		// This second's flow-setup latency distribution: the residence
 		// histograms are cumulative, so the per-second series is the delta
 		// against the previous sample's snapshot.
@@ -305,6 +392,22 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 			FlowSetupP99:     int(resDelta.P99()),
 			PortFlowSetupP50: make([]int, len(per)),
 			PortFlowSetupP99: make([]int, len(per)),
+			PendingFlows:     st.PendingFlows,
+			HandlerPanics:    int(st.HandlerPanics - prevStats.HandlerPanics),
+			StallsDetected:   int(st.StallsDetected - prevStats.StallsDetected),
+			HandlerRestarts:  int(st.HandlerRestarts - prevStats.HandlerRestarts),
+			Requeued:         int(st.Requeued - prevStats.Requeued),
+			PendingReaped:    int(st.PendingReaped - prevStats.PendingReaped),
+			BreakerTrips:     int(st.BreakerTrips - prevStats.BreakerTrips),
+			BreakerShed:      int(st.BreakerShed - prevStats.BreakerShed),
+			InstallErrors:    int(counters.InstallErrors - prevInstallErrs),
+			SweepStalls:      int(sweepStalls - prevSweepStalls),
+		}
+		if phases := sub.BreakerPhases(); phases != nil {
+			usample.PortBreaker = make([]string, len(phases))
+			for p, ph := range phases {
+				usample.PortBreaker[p] = ph.String()
+			}
 		}
 		for p := range per {
 			usample.PortQuota[p] = sub.QuotaFor(p)
@@ -314,6 +417,7 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 			usample.PortFlowSetupP99[p] = int(d.P99())
 		}
 		prevStats, prevPer, prevInstalls = st, per, installs
+		prevInstallErrs, prevSweepStalls = counters.InstallErrors, sweepStalls
 
 		pps := waterfillWorkers(nw, workerOf, offered, costs, workerAttack,
 			perCore, sc.NIC.LinePps())

@@ -28,8 +28,11 @@ import (
 // files were measured on a num_cpu=1 host, which their multi-worker
 // figures silently inherited); v4 adds the upcall_residence_*
 // micro-benchmarks, flow-setup latency (fct_*) fields on scenario rows,
-// and the portfairness adaptiveraw ablation scenario.
-const BenchSchema = "tse-bench/v4"
+// and the portfairness adaptiveraw ablation scenario; v5 adds the chaos
+// fault-injection scenarios and the self-healing fields on scenario rows
+// (handler_restarts, breaker_trips, recovery_sec — recovery_sec is -1 for
+// scenarios without a fault schedule).
+const BenchSchema = "tse-bench/v5"
 
 // BenchResult is one measured micro-benchmark in the JSON report.
 type BenchResult struct {
@@ -81,6 +84,14 @@ type ScenarioResult struct {
 	// upcall residence (-1 when the run handled no upcalls in the window).
 	FctP50UnderSec int `json:"fct_p50_under_sec"`
 	FctP99UnderSec int `json:"fct_p99_under_sec"`
+	// HandlerRestarts and BreakerTrips total the supervisor respawns and
+	// breaker trip-opens over the run; RecoverySec is the chaos recovery
+	// bound (seconds from first injected fault until the victims' flow
+	// setup is back inside 1.5x its pre-fault p99; -1 when no fault was
+	// injected or the run never recovered).
+	HandlerRestarts int `json:"handler_restarts"`
+	BreakerTrips    int `json:"breaker_trips"`
+	RecoverySec     int `json:"recovery_sec"`
 	// WallMs is the host wall-clock time of the run (informational; the
 	// scenario itself is virtual-time deterministic).
 	WallMs float64 `json:"wall_ms"`
@@ -464,6 +475,21 @@ func BenchJSON() (*BenchReport, error) {
 		}
 		wall := time.Since(start)
 		s := summarise(samples)
+		restarts, trips := 0, 0
+		faultSec, recovery := -1, -1
+		for _, smp := range samples {
+			if u := smp.Upcall; u != nil {
+				restarts += u.HandlerRestarts
+				trips += u.BreakerTrips
+				if faultSec < 0 && (u.HandlerPanics > 0 || u.StallsDetected > 0 ||
+					u.InstallErrors > 0 || u.SweepStalls > 0) {
+					faultSec = smp.Sec
+				}
+			}
+		}
+		if faultSec >= 0 {
+			recovery = chaosRecovery(samples, faultSec)
+		}
 		rep.Scenarios = append(rep.Scenarios, ScenarioResult{
 			Name:            sc.Name,
 			Workers:         sc.Workers,
@@ -479,6 +505,9 @@ func BenchJSON() (*BenchReport, error) {
 			VictimPostGbps:  s.PostGbps,
 			FctP50UnderSec:  s.FctP50Under,
 			FctP99UnderSec:  s.FctP99Under,
+			HandlerRestarts: restarts,
+			BreakerTrips:    trips,
+			RecoverySec:     recovery,
 			WallMs:          float64(wall.Nanoseconds()) / 1e6,
 		})
 		return nil
@@ -505,6 +534,23 @@ func BenchJSON() (*BenchReport, error) {
 		dataplane.FairnessAdaptive,
 	} {
 		sc, err := dataplane.PortFairnessScenario(mode)
+		if err != nil {
+			return nil, err
+		}
+		if err := runScenario(sc); err != nil {
+			return nil, err
+		}
+	}
+
+	// The chaos suite: the same attack with the slow path failing mid-flood
+	// (see the chaos experiment). The unsupervised row pins the wedge's
+	// cost in the trajectory; the supervised row's recovery_sec is the
+	// self-healing bound the CI smoke asserts.
+	for _, mode := range []dataplane.ChaosMode{
+		dataplane.ChaosUnsupervised,
+		dataplane.ChaosSupervised,
+	} {
+		sc, err := dataplane.ChaosScenario(mode)
 		if err != nil {
 			return nil, err
 		}

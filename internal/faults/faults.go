@@ -1,0 +1,406 @@
+// Package faults is the deterministic fault-injection layer of the
+// simulated switch: a schedule of component failures — handler panics,
+// handler stalls, revalidator sweep stalls, megaflow-install errors, and
+// delayed or duplicated upcall delivery — scripted against the virtual
+// clock, so a chaos run replays bit-for-bit.
+//
+// A Plan is either built from explicit events (the chaos experiment's
+// scripted "kill handler 0 at the attack peak") or generated from a seed
+// (Random), and is threaded into the upcall subsystem and the switch as an
+// optional hook: a nil plan costs one pointer comparison on the paths it
+// guards, and every query method is nil-receiver-safe.
+//
+// Two consumers with different fault mechanics share the schedule:
+//
+//   - Drive mode (the deterministic simulator) asks in virtual ticks:
+//     HandlerPanicAt / HandlerStallAt model a handler dying or freezing as
+//     lost service capacity plus orphaned in-flight upcalls, applied by
+//     Subsystem.HandleNAt.
+//   - Goroutine mode asks for a gate: HandlerGate returns a channel the
+//     injected handler blocks on (a real wedged goroutine), released by
+//     Release — the shape the Stop-timeout and supervisor stall tests
+//     need.
+//
+// Panic and stall events are consumed once (a handler dies once per
+// event); window faults (revalidator stall, install error) hold for their
+// Duration and are re-queried freely.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	// HandlerPanic kills one handler: goroutine mode panics inside the
+	// handle path (the supervisor recovers and respawns), drive mode
+	// orphans the handler's current burst and removes its service share
+	// for the tick.
+	HandlerPanic Kind = iota
+	// HandlerStall freezes one handler for Duration ticks (drive mode) or
+	// until Release (goroutine mode, via HandlerGate) without killing it —
+	// the failure only heartbeat/stall detection can see.
+	HandlerStall
+	// RevalidatorStall suppresses revalidator sweeps for the event window:
+	// no expiry, no revalidation, no quota retune, no pending reap.
+	RevalidatorStall
+	// InstallError fails every megaflow install attempted during the event
+	// window (the flow still gets its slow-path verdict; the cache just
+	// never learns it).
+	InstallError
+	// DeliverDelay holds upcalls submitted at the event's tick in limbo
+	// for Duration ticks before handlers can see them (netlink socket
+	// delay).
+	DeliverDelay
+	// DeliverDuplicate enqueues upcalls submitted at the event's tick
+	// twice (at-least-once delivery); the second copy resolves as a no-op
+	// but costs queue space and handler budget.
+	DeliverDuplicate
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case HandlerPanic:
+		return "handler-panic"
+	case HandlerStall:
+		return "handler-stall"
+	case RevalidatorStall:
+		return "revalidator-stall"
+	case InstallError:
+		return "install-error"
+	case DeliverDelay:
+		return "deliver-delay"
+	case DeliverDuplicate:
+		return "deliver-duplicate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Forever marks a stall that never ends on its own (goroutine mode: until
+// Release; drive mode: until the supervisor's stall detection replaces the
+// handler — or never, under the unsupervised ablation).
+const Forever int64 = -1
+
+// Event is one scheduled fault.
+type Event struct {
+	// Tick is the virtual second the fault fires (inclusive).
+	Tick int64
+	// Kind selects the fault.
+	Kind Kind
+	// Handler targets one handler slot for HandlerPanic/HandlerStall;
+	// negative matches any handler (first asker wins).
+	Handler int
+	// Source targets one upcall source for the delivery faults; negative
+	// matches every source.
+	Source int
+	// Duration is the fault length in ticks: the stall/window length for
+	// HandlerStall/RevalidatorStall/InstallError (0 means one tick,
+	// Forever means until released/replaced) and the delay amount for
+	// DeliverDelay. Ignored by HandlerPanic and DeliverDuplicate.
+	Duration int64
+}
+
+// window reports whether now falls inside the event's active window
+// ([Tick, Tick+Duration), with Duration <= 0 meaning one tick and Forever
+// meaning unbounded).
+func (e Event) window(now int64) bool {
+	if now < e.Tick {
+		return false
+	}
+	if e.Duration == Forever {
+		return true
+	}
+	d := e.Duration
+	if d <= 0 {
+		d = 1
+	}
+	return now < e.Tick+d
+}
+
+// scheduled is one plan entry with its runtime state.
+type scheduled struct {
+	Event
+	consumed bool
+}
+
+// Plan is a deterministic fault schedule. It is safe for concurrent use
+// (goroutine-mode handlers query it from several goroutines); a Plan holds
+// per-event consumed state, so one Plan drives exactly one run.
+type Plan struct {
+	mu     sync.Mutex
+	seed   int64
+	events []scheduled
+	gates  []chan struct{}
+}
+
+// NewPlan builds a plan from explicit events.
+func NewPlan(events ...Event) *Plan {
+	p := &Plan{}
+	for _, e := range events {
+		p.Add(e)
+	}
+	return p
+}
+
+// Add schedules one more event.
+func (p *Plan) Add(e Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.events = append(p.events, scheduled{Event: e})
+	sort.SliceStable(p.events, func(i, j int) bool {
+		return p.events[i].Tick < p.events[j].Tick
+	})
+}
+
+// Events returns the schedule (runtime state stripped).
+func (p *Plan) Events() []Event {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Event, len(p.events))
+	for i := range p.events {
+		out[i] = p.events[i].Event
+	}
+	return out
+}
+
+// Seed returns the seed a Random plan was generated from (0 for explicit
+// plans).
+func (p *Plan) Seed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
+}
+
+// matches reports whether the event targets the given handler slot.
+func matchesHandler(e Event, handler int) bool {
+	return e.Handler < 0 || e.Handler == handler
+}
+
+// matchesSource reports whether the event targets the given source.
+func matchesSource(e Event, src int) bool {
+	return e.Source < 0 || e.Source == src
+}
+
+// HandlerPanicAt consumes a due HandlerPanic event targeting handler:
+// true means the handler dies now. Each event fires once.
+func (p *Plan) HandlerPanicAt(handler int, now int64) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.events {
+		e := &p.events[i]
+		if e.consumed || e.Kind != HandlerPanic || e.Tick > now || !matchesHandler(e.Event, handler) {
+			continue
+		}
+		e.consumed = true
+		return true
+	}
+	return false
+}
+
+// HandlerStallAt consumes a due HandlerStall event targeting handler and
+// returns the virtual tick the stall ends at (exclusive;
+// math.MaxInt64 for Forever). The drive-mode fault model uses this; the
+// goroutine mode uses HandlerGate instead.
+func (p *Plan) HandlerStallAt(handler int, now int64) (until int64, ok bool) {
+	if p == nil {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.events {
+		e := &p.events[i]
+		if e.consumed || e.Kind != HandlerStall || e.Tick > now || !matchesHandler(e.Event, handler) {
+			continue
+		}
+		e.consumed = true
+		if e.Duration == Forever {
+			return math.MaxInt64, true
+		}
+		d := e.Duration
+		if d <= 0 {
+			d = 1
+		}
+		return e.Tick + d, true
+	}
+	return 0, false
+}
+
+// HandlerGate consumes a due HandlerStall event targeting handler and
+// returns a channel the handler must block on — a real wedged goroutine,
+// released only by Release. nil means no stall is due. Goroutine-mode
+// injection point (Duration is ignored; virtual ticks do not advance for a
+// blocked goroutine).
+func (p *Plan) HandlerGate(handler int, now int64) <-chan struct{} {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.events {
+		e := &p.events[i]
+		if e.consumed || e.Kind != HandlerStall || e.Tick > now || !matchesHandler(e.Event, handler) {
+			continue
+		}
+		e.consumed = true
+		gate := make(chan struct{})
+		p.gates = append(p.gates, gate)
+		return gate
+	}
+	return nil
+}
+
+// Release opens every gate handed out by HandlerGate, unwedging stalled
+// goroutine-mode handlers (test teardown; zombies abandoned by the
+// supervisor or Stop exit through it).
+func (p *Plan) Release() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	gates := p.gates
+	p.gates = nil
+	p.mu.Unlock()
+	for _, g := range gates {
+		close(g)
+	}
+}
+
+// RevalidatorStalledAt reports whether a RevalidatorStall window covers
+// now. Window faults are not consumed.
+func (p *Plan) RevalidatorStalledAt(now int64) bool {
+	return p.windowActive(RevalidatorStall, now)
+}
+
+// InstallErrorAt reports whether an InstallError window covers now — the
+// hook vswitch's install paths consult per attempted install.
+func (p *Plan) InstallErrorAt(now int64) bool {
+	return p.windowActive(InstallError, now)
+}
+
+func (p *Plan) windowActive(k Kind, now int64) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.events {
+		if p.events[i].Kind == k && p.events[i].window(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// DeliverDelayAt returns the limbo delay (in ticks) for an upcall
+// submitted by src at now; 0 means deliver immediately. The event applies
+// to submissions at exactly its Tick; Duration is the delay amount.
+func (p *Plan) DeliverDelayAt(src int, now int64) int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.events {
+		e := &p.events[i]
+		if e.Kind != DeliverDelay || e.Tick != now || !matchesSource(e.Event, src) {
+			continue
+		}
+		if e.Duration > 0 {
+			return e.Duration
+		}
+		return 1
+	}
+	return 0
+}
+
+// DeliverDuplicateAt reports whether upcalls submitted by src at now are
+// delivered twice.
+func (p *Plan) DeliverDuplicateAt(src int, now int64) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.events {
+		e := &p.events[i]
+		if e.Kind == DeliverDuplicate && e.Tick == now && matchesSource(e.Event, src) {
+			return true
+		}
+	}
+	return false
+}
+
+// RandomConfig parameterises Random's seeded schedule generation.
+type RandomConfig struct {
+	// HorizonSec bounds event ticks to [0, HorizonSec); <= 0 selects 60.
+	HorizonSec int64
+	// Handlers and Sources are the slot/source ranges targets are drawn
+	// from; <= 0 selects 1.
+	Handlers, Sources int
+	// Panics..Dups are per-kind event counts.
+	Panics, Stalls, SweepStalls, InstallErrs, Delays, Dups int
+	// MaxStallSec caps stall/window/delay lengths; <= 0 selects 3.
+	MaxStallSec int64
+}
+
+// Random generates a plan from a seed: the fuzz-style chaos schedule.
+// The same (seed, cfg) always yields the same plan.
+func Random(seed int64, cfg RandomConfig) *Plan {
+	if cfg.HorizonSec <= 0 {
+		cfg.HorizonSec = 60
+	}
+	if cfg.Handlers <= 0 {
+		cfg.Handlers = 1
+	}
+	if cfg.Sources <= 0 {
+		cfg.Sources = 1
+	}
+	if cfg.MaxStallSec <= 0 {
+		cfg.MaxStallSec = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tick := func() int64 { return rng.Int63n(cfg.HorizonSec) }
+	dur := func() int64 { return 1 + rng.Int63n(cfg.MaxStallSec) }
+	p := &Plan{seed: seed}
+	emit := func(n int, k Kind, mk func() Event) {
+		for i := 0; i < n; i++ {
+			e := mk()
+			e.Kind = k
+			p.Add(e)
+		}
+	}
+	emit(cfg.Panics, HandlerPanic, func() Event {
+		return Event{Tick: tick(), Handler: rng.Intn(cfg.Handlers), Source: -1}
+	})
+	emit(cfg.Stalls, HandlerStall, func() Event {
+		return Event{Tick: tick(), Handler: rng.Intn(cfg.Handlers), Source: -1, Duration: dur()}
+	})
+	emit(cfg.SweepStalls, RevalidatorStall, func() Event {
+		return Event{Tick: tick(), Handler: -1, Source: -1, Duration: dur()}
+	})
+	emit(cfg.InstallErrs, InstallError, func() Event {
+		return Event{Tick: tick(), Handler: -1, Source: -1, Duration: dur()}
+	})
+	emit(cfg.Delays, DeliverDelay, func() Event {
+		return Event{Tick: tick(), Handler: -1, Source: rng.Intn(cfg.Sources), Duration: dur()}
+	})
+	emit(cfg.Dups, DeliverDuplicate, func() Event {
+		return Event{Tick: tick(), Handler: -1, Source: rng.Intn(cfg.Sources)}
+	})
+	return p
+}

@@ -1,0 +1,173 @@
+package faults_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"tse/internal/faults"
+)
+
+// TestNilPlanNoOps: every query on a nil plan is a safe no-op — the
+// zero-cost-when-nil contract the hooks rely on.
+func TestNilPlanNoOps(t *testing.T) {
+	var p *faults.Plan
+	if p.HandlerPanicAt(0, 10) {
+		t.Error("nil plan reported a panic")
+	}
+	if _, ok := p.HandlerStallAt(0, 10); ok {
+		t.Error("nil plan reported a stall")
+	}
+	if p.HandlerGate(0, 10) != nil {
+		t.Error("nil plan handed out a gate")
+	}
+	if p.RevalidatorStalledAt(10) || p.InstallErrorAt(10) {
+		t.Error("nil plan reported an active window")
+	}
+	if p.DeliverDelayAt(0, 10) != 0 || p.DeliverDuplicateAt(0, 10) {
+		t.Error("nil plan reported a delivery fault")
+	}
+	p.Release()
+	if p.Events() != nil || p.Seed() != 0 {
+		t.Error("nil plan reported events or a seed")
+	}
+}
+
+// TestConsumeOnce: panic and stall events fire exactly once, only for a
+// matching handler, and not before their tick.
+func TestConsumeOnce(t *testing.T) {
+	p := faults.NewPlan(
+		faults.Event{Tick: 5, Kind: faults.HandlerPanic, Handler: 1},
+		faults.Event{Tick: 7, Kind: faults.HandlerStall, Handler: 0, Duration: 4},
+	)
+	if p.HandlerPanicAt(1, 4) {
+		t.Error("panic fired before its tick")
+	}
+	if p.HandlerPanicAt(0, 5) {
+		t.Error("panic fired for the wrong handler")
+	}
+	if !p.HandlerPanicAt(1, 5) {
+		t.Error("panic did not fire at its tick")
+	}
+	if p.HandlerPanicAt(1, 6) {
+		t.Error("panic fired twice")
+	}
+	// A missed event still fires late (Tick <= now, not ==): a handler that
+	// was busy at the scheduled tick dies on its next query.
+	p.Add(faults.Event{Tick: 8, Kind: faults.HandlerPanic, Handler: 2})
+	if !p.HandlerPanicAt(2, 11) {
+		t.Error("late query missed a due panic")
+	}
+
+	until, ok := p.HandlerStallAt(0, 7)
+	if !ok || until != 11 {
+		t.Errorf("stall = (%d, %v), want (11, true)", until, ok)
+	}
+	if _, ok := p.HandlerStallAt(0, 8); ok {
+		t.Error("stall consumed twice")
+	}
+}
+
+// TestStallForever: Duration Forever means until released/replaced.
+func TestStallForever(t *testing.T) {
+	p := faults.NewPlan(faults.Event{Tick: 1, Kind: faults.HandlerStall, Handler: -1, Duration: faults.Forever})
+	until, ok := p.HandlerStallAt(3, 3)
+	if !ok || until != math.MaxInt64 {
+		t.Errorf("forever stall = (%d, %v), want (MaxInt64, true) for any handler", until, ok)
+	}
+}
+
+// TestGateRelease: goroutine-mode stalls hand out a gate that blocks until
+// Release.
+func TestGateRelease(t *testing.T) {
+	p := faults.NewPlan(faults.Event{Tick: 2, Kind: faults.HandlerStall, Handler: 0})
+	g := p.HandlerGate(0, 2)
+	if g == nil {
+		t.Fatal("no gate for a due stall")
+	}
+	if p.HandlerGate(0, 3) != nil {
+		t.Error("gate handed out twice for one event")
+	}
+	select {
+	case <-g:
+		t.Fatal("gate open before Release")
+	default:
+	}
+	p.Release()
+	<-g // must be closed now; deadlock = failure
+}
+
+// TestWindows: revalidator-stall and install-error windows hold for
+// [Tick, Tick+Duration) and are re-queried freely.
+func TestWindows(t *testing.T) {
+	p := faults.NewPlan(
+		faults.Event{Tick: 10, Kind: faults.RevalidatorStall, Duration: 3},
+		faults.Event{Tick: 20, Kind: faults.InstallError}, // Duration 0 = one tick
+	)
+	for now, want := range map[int64]bool{9: false, 10: true, 12: true, 13: false} {
+		if got := p.RevalidatorStalledAt(now); got != want {
+			t.Errorf("RevalidatorStalledAt(%d) = %v, want %v", now, got, want)
+		}
+	}
+	// Windows are not consumed: asking again inside the window still holds.
+	if !p.RevalidatorStalledAt(11) || !p.RevalidatorStalledAt(11) {
+		t.Error("window fault was consumed")
+	}
+	for now, want := range map[int64]bool{19: false, 20: true, 21: false} {
+		if got := p.InstallErrorAt(now); got != want {
+			t.Errorf("InstallErrorAt(%d) = %v, want %v", now, got, want)
+		}
+	}
+}
+
+// TestDelivery: delay and duplicate apply to submissions at exactly their
+// tick, filtered by source.
+func TestDelivery(t *testing.T) {
+	p := faults.NewPlan(
+		faults.Event{Tick: 4, Kind: faults.DeliverDelay, Source: 1, Duration: 2},
+		faults.Event{Tick: 6, Kind: faults.DeliverDuplicate, Source: -1},
+	)
+	if d := p.DeliverDelayAt(1, 4); d != 2 {
+		t.Errorf("delay = %d, want 2", d)
+	}
+	if d := p.DeliverDelayAt(0, 4); d != 0 {
+		t.Errorf("delay for unmatched source = %d, want 0", d)
+	}
+	if d := p.DeliverDelayAt(1, 5); d != 0 {
+		t.Errorf("delay outside its tick = %d, want 0", d)
+	}
+	if !p.DeliverDuplicateAt(3, 6) {
+		t.Error("any-source duplicate did not fire")
+	}
+	if p.DeliverDuplicateAt(3, 7) {
+		t.Error("duplicate fired outside its tick")
+	}
+}
+
+// TestRandomDeterministic: the same (seed, cfg) yields the same schedule;
+// a different seed yields a different one.
+func TestRandomDeterministic(t *testing.T) {
+	cfg := faults.RandomConfig{
+		HorizonSec: 40, Handlers: 4, Sources: 3,
+		Panics: 2, Stalls: 3, SweepStalls: 1, InstallErrs: 1, Delays: 2, Dups: 2,
+	}
+	a, b := faults.Random(42, cfg), faults.Random(42, cfg)
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if a.Seed() != 42 {
+		t.Errorf("seed = %d, want 42", a.Seed())
+	}
+	c := faults.Random(43, cfg)
+	if reflect.DeepEqual(a.Events(), c.Events()) {
+		t.Error("different seeds produced identical schedules")
+	}
+	if n := len(a.Events()); n != 11 {
+		t.Errorf("event count = %d, want 11", n)
+	}
+	for _, e := range a.Events() {
+		if e.Tick < 0 || e.Tick >= 40 {
+			t.Errorf("event tick %d outside horizon", e.Tick)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package upcall
+
+// The SLO circuit breaker: the admission-side complement of the adaptive
+// quota. The quota tunes *how much* a source may submit; the breaker
+// decides *whether* submitting is useful at all. When a source's
+// backlog-residence p99 (the per-port LatencyHist the adaptive controller
+// already reads) violates BreakerSLOSec for TripAfter consecutive
+// intervals, queued work is already missing its flow-setup SLO — so the
+// source trips open and new submissions fast-fail (shed) instead of
+// joining a queue whose wait already exceeds the deadline. After
+// CooldownSec the breaker goes half-open and admits a per-tick trickle of
+// probes; if their residence meets the SLO it closes, if not it re-opens.
+//
+// The signal plumbing is the AdaptiveQuota's: per-interval histogram
+// deltas off SourceStats.Residence, optionally EWMA-smoothed with the same
+// alpha discipline (seed on first sample, then exponential decay), with
+// the TripAfter streak playing the hysteresis role so a single noisy
+// interval cannot flap the breaker.
+
+import "fmt"
+
+// BreakerPhase is the circuit-breaker state.
+type BreakerPhase int
+
+const (
+	// BreakerClosed: admission flows normally (modulo queue/quota).
+	BreakerClosed BreakerPhase = iota
+	// BreakerOpen: every submission is shed with DroppedBreaker.
+	BreakerOpen
+	// BreakerHalfOpen: a per-tick trickle of HalfOpenProbes submissions is
+	// admitted to test whether the backlog recovered.
+	BreakerHalfOpen
+)
+
+// String names the phase for diagnostics and samples.
+func (p BreakerPhase) String() string {
+	switch p {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerPhase(%d)", int(p))
+	}
+}
+
+// Default breaker knobs.
+const (
+	// DefaultTripAfter is the consecutive SLO-violating intervals required
+	// to trip: the flap-immunity streak.
+	DefaultTripAfter = 3
+	// DefaultBreakerCooldownSec is how long an open breaker sheds before
+	// probing (half-open).
+	DefaultBreakerCooldownSec int64 = 3
+	// DefaultHalfOpenProbes is the per-tick probe trickle while half-open.
+	DefaultHalfOpenProbes = 2
+)
+
+// Breaker configures the per-source SLO circuit breaker. The zero value
+// (SLOSec == 0) disables it.
+type Breaker struct {
+	// SLOSec is the backlog-residence p99 SLO in virtual seconds; an
+	// interval whose p99 exceeds it is a violation. <= 0 disables the
+	// breaker.
+	SLOSec int64
+	// TripAfter is the number of consecutive violating intervals that
+	// trips the breaker open; <= 0 selects DefaultTripAfter.
+	TripAfter int
+	// CooldownSec is how long the breaker stays open before going
+	// half-open; <= 0 selects DefaultBreakerCooldownSec.
+	CooldownSec int64
+	// HalfOpenProbes is the per-tick admission trickle while half-open;
+	// <= 0 selects DefaultHalfOpenProbes.
+	HalfOpenProbes int
+	// EWMAAlpha, when > 0, smooths the p99 signal with the adaptive
+	// controller's EWMA discipline (DefaultEWMAAlpha matches it) before
+	// the SLO comparison; 0 compares raw interval p99s, leaving TripAfter
+	// as the only hysteresis.
+	EWMAAlpha float64
+}
+
+func (b Breaker) tripAfter() int {
+	if b.TripAfter > 0 {
+		return b.TripAfter
+	}
+	return DefaultTripAfter
+}
+
+func (b Breaker) cooldown() int64 {
+	if b.CooldownSec > 0 {
+		return b.CooldownSec
+	}
+	return DefaultBreakerCooldownSec
+}
+
+func (b Breaker) probes() int {
+	if b.HalfOpenProbes > 0 {
+		return b.HalfOpenProbes
+	}
+	return DefaultHalfOpenProbes
+}
+
+// BreakerState is one source's breaker position, advanced once per
+// interval by Next.
+type BreakerState struct {
+	// Phase is the current position; BadStreak counts consecutive
+	// violating intervals while closed; OpenedAt is the interval the
+	// breaker last tripped (cooldown base).
+	Phase     BreakerPhase
+	BadStreak int
+	OpenedAt  int64
+	// EWMAP99 and Seeded carry the smoothed signal when EWMAAlpha > 0.
+	EWMAP99 float64
+	Seeded  bool
+}
+
+// Next advances one source's breaker by one interval. now is the interval
+// tick; p99 is the interval's backlog-residence p99 in virtual seconds,
+// with a negative value meaning no upcalls were handled this interval (no
+// signal: a closed breaker stays closed, a half-open breaker keeps
+// probing). It reports whether the breaker tripped open or closed from
+// half-open this interval.
+func (b Breaker) Next(st *BreakerState, now int64, p99 int64) (tripped, closed bool) {
+	sig := float64(p99)
+	if p99 >= 0 && b.EWMAAlpha > 0 {
+		if !st.Seeded {
+			st.Seeded = true
+			st.EWMAP99 = float64(p99)
+		} else {
+			st.EWMAP99 = b.EWMAAlpha*float64(p99) + (1-b.EWMAAlpha)*st.EWMAP99
+		}
+		sig = st.EWMAP99
+	}
+	over := p99 >= 0 && sig > float64(b.SLOSec)
+	switch st.Phase {
+	case BreakerClosed:
+		if !over {
+			st.BadStreak = 0
+			break
+		}
+		st.BadStreak++
+		if st.BadStreak >= b.tripAfter() {
+			st.Phase = BreakerOpen
+			st.OpenedAt = now
+			st.BadStreak = 0
+			return true, false
+		}
+	case BreakerOpen:
+		if now-st.OpenedAt >= b.cooldown() {
+			st.Phase = BreakerHalfOpen
+		}
+	case BreakerHalfOpen:
+		switch {
+		case over:
+			// Probes still violate: back to shedding, cooldown restarts.
+			st.Phase = BreakerOpen
+			st.OpenedAt = now
+		case p99 >= 0:
+			// Probes met the SLO: recovered.
+			st.Phase = BreakerClosed
+			st.BadStreak = 0
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// breakerPort is one source's breaker runtime state inside the subsystem:
+// the state machine plus the histogram snapshot the per-interval delta is
+// taken against and the half-open probe budget for the current tick.
+type breakerPort struct {
+	st      BreakerState
+	prev    LatencyHist
+	probeAt int64
+	probes  int
+}
+
+// breakerAdmitLocked decides admission for one submission under the
+// source's breaker. Callers hold u.mu and have checked u.brk != nil.
+func (u *Subsystem) breakerAdmitLocked(src int, now int64) bool {
+	bp := &u.brk[src]
+	switch bp.st.Phase {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return false
+	default: // half-open: admit the probe trickle, shed the rest
+		if bp.probeAt != now {
+			bp.probeAt = now
+			bp.probes = u.opts.Breaker.probes()
+		}
+		if bp.probes <= 0 {
+			return false
+		}
+		bp.probes--
+		return true
+	}
+}
+
+// TickBreakers advances every source's breaker by one interval against its
+// residence histogram delta. The dataplane loop calls this once per
+// virtual second, after the handler drain, mirroring the revalidator's
+// retune cadence.
+func (u *Subsystem) TickBreakers(now int64) {
+	if u.brk == nil {
+		return
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if now > u.clock {
+		u.clock = now
+	}
+	for src := range u.brk {
+		bp := &u.brk[src]
+		delta := u.srcStats[src].Residence.Delta(bp.prev)
+		bp.prev = u.srcStats[src].Residence
+		tripped, closed := u.opts.Breaker.Next(&bp.st, now, delta.P99())
+		if tripped {
+			u.stats.BreakerTrips++
+		}
+		if closed {
+			u.stats.BreakerCloses++
+		}
+	}
+}
+
+// BreakerPhases snapshots each source's breaker phase; nil when the
+// breaker is disabled.
+func (u *Subsystem) BreakerPhases() []BreakerPhase {
+	if u.brk == nil {
+		return nil
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	out := make([]BreakerPhase, len(u.brk))
+	for i := range u.brk {
+		out[i] = u.brk[i].st.Phase
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package upcall_test
+
+import (
+	"testing"
+
+	"tse/internal/flowtable"
+	"tse/internal/upcall"
+)
+
+// step advances the breaker one interval and fails on an unexpected phase.
+func step(t *testing.T, b upcall.Breaker, st *upcall.BreakerState, now, p99 int64, want upcall.BreakerPhase) (tripped, closed bool) {
+	t.Helper()
+	tripped, closed = b.Next(st, now, p99)
+	if st.Phase != want {
+		t.Fatalf("t=%d p99=%d: phase %v, want %v", now, p99, st.Phase, want)
+	}
+	return tripped, closed
+}
+
+// TestBreakerLifecycle walks the satellite's full transition chain:
+// closed → (TripAfter violations) → open → (cooldown) → half-open →
+// (healthy probe) → closed.
+func TestBreakerLifecycle(t *testing.T) {
+	b := upcall.Breaker{SLOSec: 2, TripAfter: 3, CooldownSec: 2, HalfOpenProbes: 1}
+	var st upcall.BreakerState
+
+	step(t, b, &st, 0, 5, upcall.BreakerClosed) // streak 1
+	step(t, b, &st, 1, 5, upcall.BreakerClosed) // streak 2
+	tripped, _ := step(t, b, &st, 2, 5, upcall.BreakerOpen)
+	if !tripped {
+		t.Fatal("third violation did not report a trip")
+	}
+	step(t, b, &st, 3, 5, upcall.BreakerOpen)     // cooling (1 < 2)
+	step(t, b, &st, 4, 5, upcall.BreakerHalfOpen) // cooldown over
+	_, closed := step(t, b, &st, 5, 1, upcall.BreakerClosed)
+	if !closed {
+		t.Fatal("healthy probe did not report a close")
+	}
+	// Recovered for good: violations must accumulate afresh.
+	step(t, b, &st, 6, 5, upcall.BreakerClosed)
+	if st.BadStreak != 1 {
+		t.Errorf("streak after recovery = %d, want a fresh 1", st.BadStreak)
+	}
+}
+
+// TestBreakerFlapImmunity: a good (or signal-less) interval inside the
+// streak resets it, so a noisy p99 cannot trip the breaker — the TripAfter
+// hysteresis of the satellite.
+func TestBreakerFlapImmunity(t *testing.T) {
+	b := upcall.Breaker{SLOSec: 2, TripAfter: 3}
+	var st upcall.BreakerState
+	for now, p99 := range []int64{5, 5, 1, 5, 5, 1} {
+		if tripped, _ := b.Next(&st, int64(now), p99); tripped {
+			t.Fatalf("breaker tripped at t=%d under an alternating signal", now)
+		}
+	}
+	if st.Phase != upcall.BreakerClosed {
+		t.Fatalf("phase %v, want closed throughout", st.Phase)
+	}
+	// No-signal intervals (p99 < 0) are not violations either.
+	st = upcall.BreakerState{}
+	b.Next(&st, 0, 5)
+	b.Next(&st, 1, 5)
+	b.Next(&st, 2, -1)
+	if st.BadStreak != 0 {
+		t.Errorf("streak after a no-signal interval = %d, want 0", st.BadStreak)
+	}
+}
+
+// TestBreakerHalfOpenReopens: probes that still violate the SLO send the
+// breaker back to open with a fresh cooldown; no-signal intervals keep it
+// probing.
+func TestBreakerHalfOpenReopens(t *testing.T) {
+	b := upcall.Breaker{SLOSec: 2, TripAfter: 1, CooldownSec: 2}
+	var st upcall.BreakerState
+	step(t, b, &st, 0, 9, upcall.BreakerOpen)
+	step(t, b, &st, 2, 9, upcall.BreakerHalfOpen)
+	step(t, b, &st, 3, -1, upcall.BreakerHalfOpen) // no probe signal: keep probing
+	step(t, b, &st, 4, 9, upcall.BreakerOpen)      // probes still violating
+	if st.OpenedAt != 4 {
+		t.Fatalf("re-open did not restart the cooldown (OpenedAt=%d, want 4)", st.OpenedAt)
+	}
+	step(t, b, &st, 5, 1, upcall.BreakerOpen) // healthy but still cooling
+	step(t, b, &st, 6, 1, upcall.BreakerHalfOpen)
+	step(t, b, &st, 7, 1, upcall.BreakerClosed)
+}
+
+// TestBreakerEWMASmoothing: with the adaptive controller's alpha, one
+// spike is absorbed by the smoothed signal instead of counting as a
+// violation.
+func TestBreakerEWMASmoothing(t *testing.T) {
+	b := upcall.Breaker{SLOSec: 2, TripAfter: 1, EWMAAlpha: 0.2}
+	var st upcall.BreakerState
+	b.Next(&st, 0, 0) // seeds the EWMA at 0
+	if tripped, _ := b.Next(&st, 1, 9); tripped {
+		t.Fatal("smoothed breaker tripped on a single spike (EWMA 1.8 <= SLO 2)")
+	}
+	raw := upcall.Breaker{SLOSec: 2, TripAfter: 1}
+	var rawSt upcall.BreakerState
+	raw.Next(&rawSt, 0, 0)
+	if tripped, _ := raw.Next(&rawSt, 1, 9); !tripped {
+		t.Fatal("raw breaker did not trip on the same spike")
+	}
+}
+
+// TestBreakerAdmission drives the breaker through the subsystem: standing
+// residence trips the flooding source open (submissions shed with
+// DroppedBreaker), the half-open tick admits exactly the probe trickle,
+// and a healthy probe closes it again.
+func TestBreakerAdmission(t *testing.T) {
+	sw := newSwitch(t, flowtable.SipDp)
+	sub := newSub(t, sw, 1, upcall.Options{
+		Breaker: upcall.Breaker{SLOSec: 1, TripAfter: 2, CooldownSec: 2, HalfOpenProbes: 1},
+	})
+	if ph := sub.BreakerPhases(); len(ph) != 1 || ph[0] != upcall.BreakerClosed {
+		t.Fatalf("initial phases %v, want [closed]", ph)
+	}
+
+	// Two intervals whose handled upcalls sat 2 s in the queue: trip.
+	sub.Submit(0, header(0x0a000160, 40160), 0)
+	sub.HandleNAt(10, 2)
+	sub.TickBreakers(2) // p99 2 > SLO 1: streak 1
+	sub.Submit(0, header(0x0a000161, 40161), 2)
+	sub.HandleNAt(10, 4)
+	sub.TickBreakers(4) // streak 2: trips
+	st := sub.Stats()
+	if st.BreakerTrips != 1 {
+		t.Fatalf("trips = %d, want 1", st.BreakerTrips)
+	}
+	if ph := sub.BreakerPhases(); ph[0] != upcall.BreakerOpen {
+		t.Fatalf("phase %v after trip, want open", ph[0])
+	}
+
+	// Open: submissions fast-fail.
+	if _, out := sub.Submit(0, header(0x0a000162, 40162), 4); out != upcall.DroppedBreaker {
+		t.Fatalf("open-breaker outcome %v, want DroppedBreaker", out)
+	}
+	if !upcall.DroppedBreaker.Dropped() {
+		t.Error("DroppedBreaker must count as a drop")
+	}
+	if st := sub.Stats(); st.BreakerShed != 1 {
+		t.Errorf("shed = %d, want 1", st.BreakerShed)
+	}
+
+	// Cooldown elapses: half-open admits exactly HalfOpenProbes per tick.
+	sub.TickBreakers(5)
+	sub.TickBreakers(6)
+	if ph := sub.BreakerPhases(); ph[0] != upcall.BreakerHalfOpen {
+		t.Fatalf("phase %v after cooldown, want half-open", ph[0])
+	}
+	if _, out := sub.Submit(0, header(0x0a000163, 40163), 6); out != upcall.Enqueued {
+		t.Fatalf("probe outcome %v, want Enqueued", out)
+	}
+	if _, out := sub.Submit(0, header(0x0a000164, 40164), 6); out != upcall.DroppedBreaker {
+		t.Fatalf("second same-tick submission outcome %v, want shed past the probe budget", out)
+	}
+
+	// The probe is served promptly: the breaker closes.
+	sub.HandleNAt(10, 6)
+	sub.TickBreakers(7)
+	if ph := sub.BreakerPhases(); ph[0] != upcall.BreakerClosed {
+		t.Fatalf("phase %v after healthy probe, want closed", ph[0])
+	}
+	if st := sub.Stats(); st.BreakerCloses != 1 {
+		t.Errorf("closes = %d, want 1", st.BreakerCloses)
+	}
+	if _, out := sub.Submit(0, header(0x0a000165, 40165), 7); out != upcall.Enqueued {
+		t.Errorf("post-recovery outcome %v, want Enqueued", out)
+	}
+}

@@ -1,6 +1,7 @@
 package upcall_test
 
 import (
+	"sync"
 	"testing"
 
 	"tse/internal/core"
@@ -369,5 +370,67 @@ func TestOrphanPressureSurfaced(t *testing.T) {
 	}
 	if got := sub.QuotaFor(0); got != adapt.BaseQuota {
 		t.Errorf("source 0 quota %d, want untouched base %d", got, adapt.BaseQuota)
+	}
+}
+
+// TestLatencyHistConcurrent is the satellite -race test: Observe runs
+// inside the handler goroutines (under the subsystem's lock) while readers
+// concurrently snapshot the cumulative histograms and compute
+// Delta/Quantile/Mean on their copies — the sampler's access pattern. The
+// race detector proves snapshot-then-fold needs no further locking.
+func TestLatencyHistConcurrent(t *testing.T) {
+	sw := newSwitch(t, flowtable.SipDp)
+	sub := newSub(t, sw, 2, upcall.Options{Handlers: 2, QueueCap: 1024})
+	sub.Start()
+	defer sub.Stop()
+
+	const perSrc = 200
+	var wg sync.WaitGroup
+	for src := 0; src < 2; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < perSrc; i++ {
+				h := header(0x0b000000+uint32(src)<<16+uint32(i), uint16(41000+i))
+				tk, out := sub.Submit(src, h, int64(i%7))
+				if out == upcall.Enqueued || out == upcall.Coalesced {
+					tk.Wait()
+				}
+			}
+		}(src)
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		var prev upcall.LatencyHist
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := sub.Stats()
+			d := st.Residence.Delta(prev)
+			prev = st.Residence
+			_ = d.P50()
+			_ = d.P99()
+			_ = d.Quantile(0.9)
+			_ = d.Mean()
+			for _, ps := range sub.PerSource() {
+				_ = ps.Residence.P99()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	st := sub.Stats()
+	if st.Residence.Count == 0 {
+		t.Error("no residence observations recorded")
+	}
+	if st.PendingFlows != 0 {
+		t.Errorf("pending = %d after all waits returned, want 0", st.PendingFlows)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"tse/internal/faults"
 	"tse/internal/tss"
 	"tse/internal/vswitch"
 )
@@ -199,11 +200,13 @@ func (a AdaptiveQuota) Next(st *QuotaState, pressure int, resSec float64) int {
 // aggregates its dump per ingress port (tss.Entry.Port) and feeds the
 // per-port pressure back into the subsystem's admission quotas.
 type Revalidator struct {
-	sw       *vswitch.Switch
-	sub      *Subsystem
-	adapt    *AdaptiveQuota
-	interval int64
-	timeout  int64
+	sw         *vswitch.Switch
+	sub        *Subsystem
+	adapt      *AdaptiveQuota
+	interval   int64
+	timeout    int64
+	pendingAge int64
+	inj        *faults.Plan
 
 	mu      sync.Mutex
 	lastRun int64
@@ -238,6 +241,16 @@ type RevalidatorConfig struct {
 	Subsystem *Subsystem
 	// Adapt enables the adaptive per-port quota feedback loop.
 	Adapt *AdaptiveQuota
+	// PendingAgeSec is the orphaned-pending-entry reap horizon: each sweep
+	// fails pending-table entries (Subsystem.ReapPending) that have no
+	// queued upcall and no live handler behind them and are at least this
+	// old. 0 selects three idle timeouts (a leaked entry outlives the
+	// megaflows it should have installed, but not by much); negative
+	// disables the reaper (the chaos ablation that lets the wedge show).
+	PendingAgeSec int64
+	// Injector is the optional fault-injection schedule; a
+	// RevalidatorStall window suppresses Tick's sweeps entirely.
+	Injector *faults.Plan
 }
 
 // RevalidatorStats aggregates revalidator activity.
@@ -255,6 +268,9 @@ type RevalidatorStats struct {
 	// upcall subsystem was not sized for — surfaced here instead of being
 	// silently dropped on the floor.
 	OrphanPressure uint64
+	// SweepStalls counts sweeps suppressed by an injected revalidator
+	// stall: ticks where the cadence owed a sweep that never ran.
+	SweepStalls uint64
 }
 
 // NewRevalidator validates the configuration and returns a Revalidator.
@@ -286,18 +302,36 @@ func NewRevalidator(cfg RevalidatorConfig) (*Revalidator, error) {
 			return nil, fmt.Errorf("upcall: negative TargetResidenceSec %v", cfg.Adapt.TargetResidenceSec)
 		}
 	}
+	pendingAge := cfg.PendingAgeSec
+	switch {
+	case pendingAge < 0:
+		pendingAge = 0 // reaper disabled
+	case pendingAge == 0:
+		pendingAge = 3 * timeout
+	}
 	return &Revalidator{sw: cfg.Switch, sub: cfg.Subsystem, adapt: cfg.Adapt,
-		interval: cfg.IntervalSec, timeout: timeout}, nil
+		interval: cfg.IntervalSec, timeout: timeout,
+		pendingAge: pendingAge, inj: cfg.Injector}, nil
 }
 
 // Tick runs a sweep at virtual time now if the cadence has elapsed,
-// returning the sweep result (zero when the cadence did not trigger).
+// returning the sweep result (zero when the cadence did not trigger). An
+// injected revalidator stall suppresses the sweep without advancing the
+// cadence, so the first un-stalled tick sweeps immediately (catch-up).
 func (r *Revalidator) Tick(now int64) vswitch.SweepResult {
 	r.mu.Lock()
 	if r.ran && now-r.lastRun < r.interval {
 		r.mu.Unlock()
 		return vswitch.SweepResult{}
 	}
+	r.mu.Unlock()
+	if r.inj != nil && r.inj.RevalidatorStalledAt(now) {
+		r.mu.Lock()
+		r.stats.SweepStalls++
+		r.mu.Unlock()
+		return vswitch.SweepResult{}
+	}
+	r.mu.Lock()
 	r.lastRun, r.ran = now, true
 	r.mu.Unlock()
 	return r.Sweep(now)
@@ -370,6 +404,13 @@ func (r *Revalidator) Sweep(now int64) vswitch.SweepResult {
 	}
 	if r.adapt != nil {
 		r.retune(pressure)
+	}
+	// The sweep doubles as the pending-table janitor: entries orphaned by
+	// an unsupervised handler death (popped, never resolved, never
+	// requeued) are failed once they outlive the reap horizon, releasing
+	// their waiters and unwedging the dedup key.
+	if r.sub != nil && r.pendingAge > 0 {
+		r.sub.ReapPending(now, r.pendingAge)
 	}
 	r.record(res)
 	return res

@@ -36,6 +36,23 @@
 //     cache, expires idle entries, and re-checks the survivors against the
 //     current flow table.
 //
+//   - A supervisor (supervisor.go): handlers crash and stall, so the
+//     subsystem recovers panics, heartbeats every handler, declares one
+//     dead after StallTimeout, respawns it, and returns its orphaned
+//     in-flight upcalls to the queues (or fails them with an error
+//     verdict) instead of leaking pending entries. Stop's drain is
+//     bounded by StopTimeout so a wedged handler cannot hang shutdown.
+//
+//   - An SLO circuit breaker (breaker.go): when a source's backlog
+//     residence p99 violates BreakerSLOSec for TripAfter consecutive
+//     intervals, the source trips open and new submissions fast-fail
+//     (shed) instead of queueing behind work that will miss its SLO
+//     anyway; half-open probes a trickle and closes on recovery.
+//
+// Faults are injected through an optional faults.Plan hook (handler
+// panics/stalls, delayed or duplicated delivery); a nil plan costs one
+// pointer comparison per Submit/drain.
+//
 // Drive mode: with Handlers == 0 the subsystem runs no goroutines; the
 // datapath drains each admitted upcall synchronously (SubmitSync), which
 // still exercises the queue/pending/quota machinery but stays
@@ -48,8 +65,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"tse/internal/bitvec"
+	"tse/internal/faults"
+	"tse/internal/flowtable"
 	"tse/internal/vswitch"
 )
 
@@ -81,11 +101,55 @@ type Options struct {
 	// DisableDedup turns off the pending-table flow-miss deduplication
 	// (ablation: every admitted miss becomes its own upcall).
 	DisableDedup bool
+	// StallTimeout (goroutine mode) is the wall-clock horizon after which
+	// the supervisor declares a busy handler stalled, abandons it, and
+	// respawns its slot; 0 disables stall detection (panic recovery stays
+	// on).
+	StallTimeout time.Duration
+	// StopTimeout bounds Stop's drain: past it, Stop abandons handlers
+	// still wedged mid-handle (counting them in Stats.HandlersAbandoned)
+	// and returns anyway. <= 0 selects DefaultStopTimeout.
+	StopTimeout time.Duration
+	// StallTimeoutSec (drive mode) is the virtual-tick stall-detection
+	// horizon of the modelled supervisor; <= 0 selects
+	// DefaultStallTimeoutSec.
+	StallTimeoutSec int64
+	// ModelledHandlers is the drive-mode handler count the fault model
+	// spreads service capacity across (a dead handler removes its 1/N
+	// share of the per-tick drain budget); <= 0 selects 1. Independent of
+	// Handlers so drive-mode runs stay goroutine-free.
+	ModelledHandlers int
+	// DisableSupervisor is the chaos ablation: panics are still survived
+	// (recovered) but the dead handler is never respawned and its orphaned
+	// in-flight upcalls are dropped on the floor — the pending-table wedge
+	// the supervisor exists to prevent.
+	DisableSupervisor bool
+	// FailOrphans resolves orphaned in-flight upcalls (their handler died
+	// between pop and resolve) with an error verdict instead of returning
+	// them to their queues.
+	FailOrphans bool
+	// Breaker configures the per-source SLO circuit breaker; the zero
+	// value (SLOSec == 0) disables it.
+	Breaker Breaker
+	// Injector is the optional fault-injection schedule; nil (the normal
+	// case) injects nothing and costs one pointer comparison on the paths
+	// it guards.
+	Injector *faults.Plan
 }
 
 // DefaultHandlerBurst is the handler drain burst size, matching the
 // datapath's NETDEV_MAX_BURST-sized receive bursts.
 const DefaultHandlerBurst = 32
+
+// DefaultStopTimeout bounds Stop's handler drain: generous, because a
+// healthy backlog drain is seconds at worst and only a truly wedged
+// handler should ever be abandoned.
+const DefaultStopTimeout = 30 * time.Second
+
+// DefaultStallTimeoutSec is the drive-mode stall-detection horizon: one
+// virtual second, i.e. the modelled supervisor notices a frozen handler at
+// the next per-second drain.
+const DefaultStallTimeoutSec int64 = 1
 
 // Outcome classifies what Submit did with one flow miss.
 type Outcome int
@@ -101,10 +165,15 @@ const (
 	DroppedQueueFull
 	// DroppedQuota: the source exhausted its per-second admission quota.
 	DroppedQuota
+	// DroppedBreaker: the source's SLO circuit breaker is open; the miss
+	// is fast-failed (shed) at admission without queueing.
+	DroppedBreaker
 )
 
 // Dropped reports whether the outcome refused the miss at admission.
-func (o Outcome) Dropped() bool { return o == DroppedQueueFull || o == DroppedQuota }
+func (o Outcome) Dropped() bool {
+	return o == DroppedQueueFull || o == DroppedQuota || o == DroppedBreaker
+}
 
 // String names the outcome for diagnostics.
 func (o Outcome) String() string {
@@ -117,6 +186,8 @@ func (o Outcome) String() string {
 		return "dropped-queue-full"
 	case DroppedQuota:
 		return "dropped-quota"
+	case DroppedBreaker:
+		return "dropped-breaker-open"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -143,13 +214,37 @@ type Stats struct {
 	// virtual seconds each handled upcall sat queued between admission and
 	// handler pop (see LatencyHist).
 	Residence LatencyHist
+	// HandlerPanics counts handler deaths by panic; StallsDetected counts
+	// handlers the supervisor declared dead after StallTimeout;
+	// HandlerRestarts counts respawns (after either); HandlersAbandoned
+	// counts wedged handlers a timed-out Stop gave up waiting for.
+	HandlerPanics, StallsDetected, HandlerRestarts, HandlersAbandoned uint64
+	// Requeued counts orphaned in-flight upcalls returned to their queues
+	// by the supervisor; OrphanFailed counts orphans resolved with the
+	// error verdict instead (FailOrphans, or a timed-out Stop);
+	// PendingReaped counts aged-out pending entries swept by the
+	// revalidator's orphan reaper.
+	Requeued, OrphanFailed, PendingReaped uint64
+	// Delayed and Duplicated count fault-injected deliveries (upcalls held
+	// in limbo / enqueued twice).
+	Delayed, Duplicated uint64
+	// BreakerTrips and BreakerCloses count circuit-breaker transitions to
+	// open and (from half-open) back to closed; BreakerShed counts
+	// submissions fast-failed by a non-closed breaker.
+	BreakerTrips, BreakerCloses, BreakerShed uint64
 }
 
 // pendingFlow is one in-flight upcall: the cell every waiter of the flow
-// shares. verdict is written exactly once, before done is closed.
+// shares. verdict is written exactly once, before done is closed; resolved
+// (guarded by Subsystem.mu) makes resolution idempotent, so a zombie
+// handler or a fault-duplicated delivery resolving the flow a second time
+// is a no-op instead of a double-close.
 type pendingFlow struct {
-	done    chan struct{}
-	verdict vswitch.Verdict
+	done     chan struct{}
+	verdict  vswitch.Verdict
+	born     int64 // virtual time of admission (orphan-reap age base)
+	queued   int   // queued item copies referencing this flow
+	resolved bool
 }
 
 // flowKey identifies one in-flight flow in the pending table: the exact
@@ -176,6 +271,9 @@ type SourceStats struct {
 	// Enqueued and Deduped count admitted misses; QueueDrops and
 	// QuotaDrops count refusals by reason.
 	Enqueued, Deduped, QueueDrops, QuotaDrops uint64
+	// BreakerShed counts misses fast-failed because the source's SLO
+	// circuit breaker was open (or out of half-open probe budget).
+	BreakerShed uint64
 	// Residence is the port's flow-setup latency histogram: the virtual
 	// seconds each of its handled upcalls spent queued between admission
 	// (the enqueue stamp, shared by every miss coalesced onto the upcall)
@@ -221,9 +319,10 @@ type Subsystem struct {
 	queues   [][]item   // per-source FIFO, heads[i] is the pop position
 	heads    []int
 	pending  map[flowKey]*pendingFlow
-	tokens   []int   // per-source quota tokens for the current second
-	tokenAt  []int64 // virtual second the tokens were refilled at
-	quota    []int   // per-source quota overrides; -1 = Options.QuotaPerSource
+	limbo    []limboItem // fault-delayed deliveries, nil unless injected
+	tokens   []int       // per-source quota tokens for the current second
+	tokenAt  []int64     // virtual second the tokens were refilled at
+	quota    []int       // per-source quota overrides; -1 = Options.QuotaPerSource
 	srcStats []SourceStats
 	next     int   // round-robin drain cursor
 	depth    int   // total queued items
@@ -232,7 +331,28 @@ type Subsystem struct {
 	stopped  bool
 	started  bool
 
-	wg sync.WaitGroup // handler goroutines
+	// Goroutine-mode supervisor state (supervisor.go). wg is recreated per
+	// Start so a timed-out Stop's lingering waiter cannot collide with a
+	// later generation of handlers.
+	wg       *sync.WaitGroup
+	runs     []*handlerRun
+	inflight map[*handlerRun][]item // popped-but-unresolved bursts by owner
+	supStop  chan struct{}
+	gen      uint64
+
+	// Drive-mode fault model (supervisor.go).
+	driveH []driveHandler
+
+	// Per-source circuit breakers (breaker.go); nil when disabled.
+	brk []breakerPort
+}
+
+// limboItem is one fault-delayed upcall: admitted (quota and queue checks
+// already paid) but invisible to handlers until the virtual clock reaches
+// readyAt.
+type limboItem struct {
+	it      item
+	readyAt int64
 }
 
 // New builds a subsystem over the switch with one queue per source;
@@ -259,6 +379,9 @@ func New(sw *vswitch.Switch, sources int, opts Options) (*Subsystem, error) {
 	for i := range u.tokenAt {
 		u.tokenAt[i] = math.MinInt64 // force a refill on the first Submit
 		u.quota[i] = -1              // no override: Options.QuotaPerSource
+	}
+	if opts.Breaker.SLOSec > 0 {
+		u.brk = make([]breakerPort, sources)
 	}
 	return u, nil
 }
@@ -318,6 +441,9 @@ func (u *Subsystem) Submit(src int, h bitvec.Vec, now int64) (Ticket, Outcome) {
 	defer u.mu.Unlock()
 	if now > u.clock {
 		u.clock = now
+		if u.limbo != nil {
+			u.matureLocked()
+		}
 	}
 	key := flowKey{src: src, key: h.Key()}
 	if !u.opts.DisableDedup {
@@ -326,6 +452,14 @@ func (u *Subsystem) Submit(src int, h bitvec.Vec, now int64) (Ticket, Outcome) {
 			u.srcStats[src].Deduped++
 			return Ticket{p}, Coalesced
 		}
+	}
+	// Breaker before the queue bound: an open breaker means queued work is
+	// already missing its SLO, so new submissions are shed without
+	// consuming queue space or quota.
+	if u.brk != nil && !u.breakerAdmitLocked(src, now) {
+		u.stats.BreakerShed++
+		u.srcStats[src].BreakerShed++
+		return Ticket{}, DroppedBreaker
 	}
 	// Queue bound before quota: a miss refused for lack of queue space
 	// must not burn the source's admission budget, or a flooding-induced
@@ -348,21 +482,92 @@ func (u *Subsystem) Submit(src int, h bitvec.Vec, now int64) (Ticket, Outcome) {
 		}
 		u.tokens[src]--
 	}
-	p := &pendingFlow{done: make(chan struct{})}
+	p := &pendingFlow{done: make(chan struct{}), born: now, queued: 1}
 	if !u.opts.DisableDedup {
 		u.pending[key] = p
 	}
 	// Clone: the caller's header buffer may be reused before a handler
 	// gets to the upcall.
-	u.queues[src] = append(u.queues[src], item{h: h.Clone(), now: now, src: src, key: key, p: p})
+	it := item{h: h.Clone(), now: now, src: src, key: key, p: p}
+	if u.opts.Injector != nil {
+		if d := u.opts.Injector.DeliverDelayAt(src, now); d > 0 {
+			// Delivery fault: admitted, but held in limbo until readyAt.
+			// The enqueue stamp stays `now`, so the delay shows up as
+			// residence when the upcall is finally popped.
+			u.limbo = append(u.limbo, limboItem{it: it, readyAt: now + d})
+			u.stats.Enqueued++
+			u.srcStats[src].Enqueued++
+			u.stats.Delayed++
+			return Ticket{p}, Enqueued
+		}
+	}
+	u.enqueueLocked(it)
+	u.stats.Enqueued++
+	u.srcStats[src].Enqueued++
+	if u.opts.Injector != nil && u.opts.Injector.DeliverDuplicateAt(src, now) {
+		// Delivery fault: at-least-once semantics. The copy shares the
+		// pending cell; whichever pop resolves first wins and the other
+		// becomes a no-op.
+		p.queued++
+		u.enqueueLocked(it)
+		u.stats.Duplicated++
+	}
+	return Ticket{p}, Enqueued
+}
+
+// enqueueLocked appends one upcall to its source queue and wakes a
+// handler. Callers hold u.mu and account Enqueued themselves (requeued
+// orphans and fault duplicates are not new admissions).
+func (u *Subsystem) enqueueLocked(it item) {
+	u.queues[it.src] = append(u.queues[it.src], it)
 	u.depth++
 	if u.depth > u.stats.MaxBacklog {
 		u.stats.MaxBacklog = u.depth
 	}
-	u.stats.Enqueued++
-	u.srcStats[src].Enqueued++
 	u.cond.Signal()
-	return Ticket{p}, Enqueued
+}
+
+// matureLocked moves limbo items whose delivery delay has elapsed into
+// their source queues. Callers hold u.mu.
+func (u *Subsystem) matureLocked() {
+	kept := u.limbo[:0]
+	for _, li := range u.limbo {
+		if li.readyAt <= u.clock {
+			u.enqueueLocked(li.it)
+		} else {
+			kept = append(kept, li)
+		}
+	}
+	for i := len(kept); i < len(u.limbo); i++ {
+		u.limbo[i] = limboItem{} // release header/pending references
+	}
+	u.limbo = kept
+	if len(u.limbo) == 0 {
+		u.limbo = nil
+	}
+}
+
+// matureEarliest force-advances the clock to the earliest limbo maturity
+// and delivers everything due, reporting whether limbo held anything. The
+// drive-mode SubmitSync loop is the only clock source while it spins on a
+// delayed ticket, so without this a delayed delivery would deadlock it.
+func (u *Subsystem) matureEarliest() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if len(u.limbo) == 0 {
+		return false
+	}
+	min := u.limbo[0].readyAt
+	for _, li := range u.limbo[1:] {
+		if li.readyAt < min {
+			min = li.readyAt
+		}
+	}
+	if min > u.clock {
+		u.clock = min
+	}
+	u.matureLocked()
+	return true
 }
 
 // SubmitSync is the drive-mode slow path: it submits the miss and, when
@@ -384,6 +589,11 @@ func (u *Subsystem) SubmitSync(src int, h bitvec.Vec, now int64) (vswitch.Verdic
 			continue
 		}
 		if u.handleAny() {
+			continue
+		}
+		if u.matureEarliest() {
+			// The upcall (or its queue's work) is in fault-injected
+			// delivery limbo; advance to its maturity and drain again.
 			continue
 		}
 		// Nothing queued anywhere, yet the ticket is unresolved: a
@@ -412,11 +622,19 @@ func (u *Subsystem) HandleN(max int) int {
 // advances to now before the pops, so the residence recorded for each
 // drained upcall is measured against the drain tick even when no Submit
 // has advanced the clock (a backlog draining after a flood stops). The
-// dataplane simulator's per-second drain uses this entry point.
+// dataplane simulator's per-second drain uses this entry point; it is also
+// where the drive-mode fault model applies scheduled handler deaths and
+// stalls (see driveFaultsLocked) and delivers matured limbo items.
 func (u *Subsystem) HandleNAt(max int, now int64) int {
 	u.mu.Lock()
 	if now > u.clock {
 		u.clock = now
+	}
+	if u.limbo != nil {
+		u.matureLocked()
+	}
+	if u.opts.Injector != nil {
+		max = u.driveFaultsLocked(max, now)
 	}
 	u.mu.Unlock()
 	return u.handleN(max)
@@ -467,43 +685,6 @@ func (u *Subsystem) popBurstLocked(items []item, max int) []item {
 // DrainAll handles every queued upcall and returns the number handled.
 func (u *Subsystem) DrainAll() int { return u.HandleN(math.MaxInt) }
 
-// Start launches the handler goroutines (Options.Handlers, default 1).
-// They drain the queues round-robin, blocking while idle, until Stop.
-func (u *Subsystem) Start() {
-	u.mu.Lock()
-	if u.started {
-		u.mu.Unlock()
-		return
-	}
-	u.started = true
-	u.stopped = false
-	n := u.opts.Handlers
-	if n <= 0 {
-		n = 1
-	}
-	u.mu.Unlock()
-	for i := 0; i < n; i++ {
-		u.wg.Add(1)
-		go u.handlerLoop()
-	}
-}
-
-// Stop wakes the handlers, lets them drain the remaining backlog, and
-// joins them; outstanding tickets resolve before Stop returns. A stopped
-// subsystem can be Started again.
-func (u *Subsystem) Stop() {
-	u.mu.Lock()
-	if !u.started {
-		u.mu.Unlock()
-		return
-	}
-	u.stopped = true
-	u.started = false
-	u.cond.Broadcast()
-	u.mu.Unlock()
-	u.wg.Wait()
-}
-
 // Stats returns a snapshot of the activity counters.
 func (u *Subsystem) Stats() Stats {
 	u.mu.Lock()
@@ -512,27 +693,6 @@ func (u *Subsystem) Stats() Stats {
 	st.Backlog = u.depth
 	st.PendingFlows = len(u.pending)
 	return st
-}
-
-// handlerLoop is one handler goroutine: block while idle, otherwise pop a
-// round-robin burst and resolve it as one batch (one classifier
-// transaction per burst, see HandleN).
-func (u *Subsystem) handlerLoop() {
-	defer u.wg.Done()
-	burst := u.burstSize()
-	items := make([]item, 0, burst)
-	for {
-		u.mu.Lock()
-		for u.depth == 0 && !u.stopped {
-			u.cond.Wait()
-		}
-		items = u.popBurstLocked(items[:0], burst)
-		u.mu.Unlock()
-		if len(items) == 0 {
-			return // stopped and drained
-		}
-		u.handleBatch(items)
-	}
 }
 
 // handle resolves one upcall: the handler-side slow path. The verdict
@@ -570,9 +730,16 @@ func (u *Subsystem) handleBatch(items []item) {
 }
 
 // resolve retires one handled upcall's pending entry and releases its
-// waiters.
+// waiters. Resolution is idempotent: the first resolver wins, and a
+// zombie handler (abandoned after a stall) or a fault-duplicated delivery
+// resolving the same flow again is a no-op.
 func (u *Subsystem) resolve(it item, v vswitch.Verdict) {
 	u.mu.Lock()
+	if it.p.resolved {
+		u.mu.Unlock()
+		return
+	}
+	it.p.resolved = true
 	if u.pending[it.key] == it.p {
 		delete(u.pending, it.key)
 	}
@@ -580,6 +747,52 @@ func (u *Subsystem) resolve(it item, v vswitch.Verdict) {
 	u.mu.Unlock()
 	it.p.verdict = v
 	close(it.p.done)
+}
+
+// orphanVerdict is the error verdict an abandoned upcall resolves with
+// when nobody will ever classify it (FailOrphans, a timed-out Stop, or
+// the revalidator's pending reaper): the packet is dropped on the upcall
+// path, the same loss mode as an admission refusal.
+func orphanVerdict() vswitch.Verdict {
+	return vswitch.Verdict{Action: flowtable.Drop, Path: vswitch.PathUpcallDrop}
+}
+
+// ReapPending sweeps the pending table for orphaned entries — flows whose
+// upcall is neither queued nor in limbo nor owned by a live handler (the
+// handler died between pop and resolve, unsupervised) — and fails every
+// entry older than age with the orphan verdict, releasing its waiters.
+// It returns the number reaped. The revalidator calls this on its Tick
+// cadence so a leaked entry cannot outlive the sweep horizon.
+func (u *Subsystem) ReapPending(now, age int64) int {
+	if age <= 0 {
+		return 0
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if now > u.clock {
+		u.clock = now
+	}
+	// Entries owned by a live goroutine-mode handler are mid-resolve, not
+	// orphaned, no matter their age.
+	owned := make(map[*pendingFlow]bool)
+	for _, items := range u.inflight {
+		for _, it := range items {
+			owned[it.p] = true
+		}
+	}
+	n := 0
+	for k, p := range u.pending {
+		if p.resolved || p.queued > 0 || owned[p] || now-p.born < age {
+			continue
+		}
+		p.resolved = true
+		delete(u.pending, k)
+		p.verdict = orphanVerdict()
+		close(p.done)
+		u.stats.PendingReaped++
+		n++
+	}
+	return n
 }
 
 // handleNext pops and handles the oldest upcall of source src, reporting
@@ -621,9 +834,16 @@ func (u *Subsystem) popLocked(src int) (item, bool) {
 	it := q[h]
 	q[h] = item{} // release the header and pending references
 	h++
-	res := u.clock - it.now
-	u.srcStats[src].Residence.Observe(res)
-	u.stats.Residence.Observe(res)
+	it.p.queued--
+	if !it.p.resolved {
+		// Zombie-duplicate pops (the flow was already resolved by another
+		// copy of the item) do no flow setup and record no residence. A
+		// requeued orphan records once per service attempt: the aborted
+		// wait and the full wait are both real queueing delay.
+		res := u.clock - it.now
+		u.srcStats[src].Residence.Observe(res)
+		u.stats.Residence.Observe(res)
+	}
 	switch {
 	case h == len(q):
 		// Queue drained: rewind so the backing array is reused.
