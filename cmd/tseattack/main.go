@@ -7,6 +7,9 @@
 //
 //	tsegen -use SipDp -out atk.pcap
 //	tseattack -use SipDp -pcap atk.pcap
+//	tseattack -use SipDp -pcap atk.pcap -serve :8080   # live /metrics,
+//	        # /debug/vars and pprof during and after the replay; the
+//	        # process blocks after printing so the endpoints stay up
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"tse/internal/flowtable"
 	"tse/internal/packet"
 	"tse/internal/pcap"
+	"tse/internal/telemetry"
 	"tse/internal/vswitch"
 )
 
@@ -33,6 +37,8 @@ func run() error {
 	use := flag.String("use", "SipSpDp", "victim ACL use case: Dp, SpDp, SipDp, SipSpDp")
 	pcapPath := flag.String("pcap", "", "adversarial pcap to replay (required)")
 	verify := flag.Bool("verify-checksums", true, "reject frames with bad checksums")
+	serve := flag.String("serve", "",
+		"serve live telemetry (/metrics, /debug/vars, /debug/pprof/) on this address during the replay, then block")
 	flag.Parse()
 	if *pcapPath == "" {
 		return fmt.Errorf("-pcap is required (generate one with tsegen)")
@@ -46,6 +52,19 @@ func run() error {
 	sw, err := vswitch.New(vswitch.Config{Table: tbl, DisableMicroflow: true})
 	if err != nil {
 		return err
+	}
+
+	// -serve exposes the switch's packet-path and megaflow-cache counters
+	// live while the pcap replays (and afterwards, for inspection).
+	var hub *telemetry.Hub
+	if *serve != "" {
+		hub = telemetry.NewHub()
+		sw.AttachMetrics(hub.Reg)
+		_, addr, err := telemetry.Serve(*serve, hub)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("telemetry: http://%s/  (/metrics /debug/vars /debug/pprof/)\n", addr)
 	}
 
 	// Prime the victim flow (a web client hitting the allowed port).
@@ -103,6 +122,10 @@ func run() error {
 		after := m.ThroughputGbps(float64(probesAfter))
 		fmt.Printf("  %-12s %6.2f -> %6.2f Gbps (%.1f%% of baseline)\n",
 			p.Name, before, after, m.BaselinePct(after))
+	}
+	if hub != nil {
+		fmt.Println("telemetry: replay complete, endpoints still live — ctrl-C to exit")
+		select {}
 	}
 	return nil
 }

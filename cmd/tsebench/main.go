@@ -9,12 +9,19 @@
 //	tsebench -fig all        # regenerate everything (takes ~1 min)
 //	tsebench -workers 6      # PMD datapath scaling table for 1 vs 6 cores
 //	tsebench -json BENCH.json  # write the perf suite as JSON (schema
-//	                         # tse-bench/v5: hot-path benches + scenario
+//	                         # tse-bench/v6: hot-path benches + scenario
 //	                         # rows incl. handler_restarts, breaker_trips,
-//	                         # recovery_sec)
+//	                         # recovery_sec and per-scenario metrics)
 //	tsebench -compare OLD.json NEW.json  # CI regression gate over two
 //	                         # committed BENCH files (>2x slowdown of the
 //	                         # mask-scan/victim-lookup families fails)
+//	tsebench -compare BENCH_pr2.json ... BENCH_pr8.json  # >2 files:
+//	                         # trajectory mode, per-family sparkline across
+//	                         # the whole committed series (informational)
+//	tsebench -serve :8080 -fig all  # live telemetry while the figures run:
+//	                         # /metrics /journal /debug/vars /debug/pprof/
+//	tsebench -trace out.json -fig portfairness  # export sampled flow-setup
+//	                         # spans as chrome://tracing JSON
 //
 // Each experiment prints the same rows/series the paper reports plus the
 // paper's published anchor values for comparison; EXPERIMENTS.md records
@@ -27,6 +34,7 @@ import (
 	"os"
 
 	"tse/internal/experiments"
+	"tse/internal/telemetry"
 )
 
 func main() {
@@ -37,17 +45,28 @@ func main() {
 	jsonPath := flag.String("json", "",
 		"measure the hot-path benchmark suite and write machine-readable results to this path")
 	compare := flag.Bool("compare", false,
-		"compare two BENCH json files (old new) and exit non-zero on hot-path regressions")
+		"compare BENCH json files: two = regression gate (exit non-zero on hot-path regressions), three or more = perf trajectory with sparklines")
+	serve := flag.String("serve", "",
+		"serve live telemetry (/metrics, /journal, /debug/vars, /debug/pprof/) on this address while running, then block")
+	trace := flag.String("trace", "",
+		"export sampled flow-setup spans from the run as chrome://tracing JSON to this path")
 	flag.Parse()
 
 	if *compare {
-		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "tsebench: -compare needs exactly two files: old.json new.json")
+		switch {
+		case flag.NArg() == 2:
+			if err := experiments.CompareBenchFiles(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+				fmt.Fprintln(os.Stderr, "tsebench:", err)
+				os.Exit(1)
+			}
+		case flag.NArg() > 2:
+			if err := experiments.CompareBenchTrajectory(os.Stdout, flag.Args()); err != nil {
+				fmt.Fprintln(os.Stderr, "tsebench:", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintln(os.Stderr, "tsebench: -compare needs two files (gate) or more (trajectory)")
 			os.Exit(2)
-		}
-		if err := experiments.CompareBenchFiles(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
-			fmt.Fprintln(os.Stderr, "tsebench:", err)
-			os.Exit(1)
 		}
 		return
 	}
@@ -66,6 +85,48 @@ func main() {
 		}
 		return
 	}
+
+	// -serve / -trace install a process-wide hub the experiment runs thread
+	// through their scenarios. Spans are opt-in (they allocate per sample),
+	// so the tracer only exists when -trace asks for it.
+	hub := (*telemetry.Hub)(nil)
+	if *serve != "" || *trace != "" {
+		hub = telemetry.NewHub()
+		if *trace != "" {
+			hub.Tracer = telemetry.NewTracer(16, 0)
+		}
+		experiments.SetTelemetry(hub)
+	}
+	if *serve != "" {
+		_, addr, err := telemetry.Serve(*serve, hub)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tsebench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: http://%s/  (/metrics /journal /debug/vars /debug/pprof/)\n", addr)
+	}
+	writeTrace := func() {
+		if *trace == "" {
+			return
+		}
+		spans := hub.Tracer.Spans()
+		if err := telemetry.WriteChromeTraceFile(*trace, spans); err != nil {
+			fmt.Fprintln(os.Stderr, "tsebench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d flow-setup spans (of %d admissions seen) to %s — open in chrome://tracing or ui.perfetto.dev\n",
+			len(spans), hub.Tracer.Seen(), *trace)
+	}
+	// After the figures finish, -serve keeps the endpoints up for
+	// inspection until interrupted.
+	block := func() {
+		if *serve == "" {
+			return
+		}
+		fmt.Println("telemetry: run complete, endpoints still live — ctrl-C to exit")
+		select {}
+	}
+
 	if *workers < 0 {
 		fmt.Fprintln(os.Stderr, "tsebench: -workers must be >= 1")
 		os.Exit(2)
@@ -79,6 +140,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tsebench:", err)
 			os.Exit(1)
 		}
+		writeTrace()
+		block()
 		return
 	}
 	if *fig == "all" {
@@ -86,6 +149,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tsebench:", err)
 			os.Exit(1)
 		}
+		writeTrace()
+		block()
 		return
 	}
 	e, ok := experiments.ByID(*fig)
@@ -97,4 +162,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tsebench:", err)
 		os.Exit(1)
 	}
+	writeTrace()
+	block()
 }

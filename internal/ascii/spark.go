@@ -1,0 +1,35 @@
+package ascii
+
+import "math"
+
+// sparkRamp is the density ramp for Sparkline, lowest to highest. Plain
+// ASCII only, matching the package contract.
+const sparkRamp = "_.:-=+*#%@"
+
+// Sparkline renders values as a one-character-per-sample strip, min-max
+// scaled so the shape survives any absolute magnitude. NaN/Inf samples
+// render as a space; a flat series renders at the low end of the ramp.
+// It is what `tsebench -compare` trajectory mode uses to show a bench
+// family's history across BENCH_pr*.json files.
+func Sparkline(values []float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	out := make([]byte, len(values))
+	for i, v := range values {
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			out[i] = ' '
+		case hi == lo:
+			out[i] = sparkRamp[0]
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(sparkRamp)-1))
+			out[i] = sparkRamp[idx]
+		}
+	}
+	return string(out)
+}

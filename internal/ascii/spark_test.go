@@ -1,0 +1,27 @@
+package ascii
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSparkline pins the ramp mapping: min-max scaled, NaN gaps, flat
+// series at the ramp floor.
+func TestSparkline(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []float64
+		want   string
+	}{
+		{"ramp", []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, "_.:-=+*#%@"},
+		{"vee", []float64{10, 0, 10}, "@_@"},
+		{"flat", []float64{5, 5, 5}, "___"},
+		{"gap", []float64{0, math.NaN(), 10}, "_ @"},
+		{"empty", nil, ""},
+	}
+	for _, c := range cases {
+		if got := Sparkline(c.values); got != c.want {
+			t.Errorf("%s: Sparkline = %q, want %q", c.name, got, c.want)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"tse/internal/bitvec"
 	"tse/internal/flowtable"
 	"tse/internal/microflow"
+	"tse/internal/telemetry"
 	"tse/internal/tss"
 	"tse/internal/upcall"
 	"tse/internal/vswitch"
@@ -81,6 +82,11 @@ type Config struct {
 	// its admission quota — the fairness gap the port dimension fixes,
 	// and what the portfairness experiment measures.
 	SourceByWorker bool
+	// Metrics, when non-nil, registers the pool's tse_pmd_* counter
+	// families. Each worker flushes one burst's deltas into its own
+	// registry shard at burst end — a handful of padded atomic adds per
+	// 32-packet burst, nothing per packet.
+	Metrics *telemetry.Registry
 }
 
 // WorkerStats aggregates one worker's activity.
@@ -154,6 +160,54 @@ type Pool struct {
 	up          *upcall.Subsystem
 	handlers    bool // async mode runs handler goroutines (vs drive mode)
 	srcByWorker bool // ablation: upcall source = worker, not port
+	tm          *poolMetrics
+}
+
+// poolMetrics is the pool's registry wiring: push counters sharded by
+// worker id, fed by per-burst deltas of the WorkerStats each worker
+// already maintains.
+type poolMetrics struct {
+	packets, emcHits, megaflowHits, slowpath *telemetry.Counter
+	probes, upcalls, upcallDrops, upcallShed *telemetry.Counter
+}
+
+func newPoolMetrics(reg *telemetry.Registry) *poolMetrics {
+	return &poolMetrics{
+		packets: reg.Counter("tse_pmd_packets_total",
+			"Packets dispatched to PMD workers."),
+		emcHits: reg.Counter("tse_pmd_emc_hits_total",
+			"Packets decided by a worker's private exact-match cache (OVS coverage: exact match hit)."),
+		megaflowHits: reg.Counter("tse_pmd_megaflow_hits_total",
+			"Packets decided by the shared megaflow cache (OVS coverage: masked hit)."),
+		slowpath: reg.Counter("tse_pmd_slowpath_total",
+			"Packets resolved through the slow path, upcall-resolved included."),
+		probes: reg.Counter("tse_pmd_probes_total",
+			"Mask probes spent by PMD workers — the per-core scan cost the attack inflates."),
+		upcalls: reg.Counter("tse_pmd_upcalls_total",
+			"Flow misses submitted to the upcall subsystem."),
+		upcallDrops: reg.Counter("tse_pmd_upcall_drops_total",
+			"Flow misses refused at upcall admission."),
+		upcallShed: reg.Counter("tse_pmd_upcall_shed_total",
+			"Refused misses fast-failed by an open SLO circuit breaker."),
+	}
+}
+
+// record flushes one burst's worth of counter movement (after minus
+// before) into the worker's registry shard.
+func (m *poolMetrics) record(shard int, before, after WorkerStats) {
+	add := func(c *telemetry.Counter, b, a uint64) {
+		if a > b {
+			c.Add(shard, a-b)
+		}
+	}
+	add(m.packets, before.Packets, after.Packets)
+	add(m.emcHits, before.EMCHits, after.EMCHits)
+	add(m.megaflowHits, before.MegaflowHits, after.MegaflowHits)
+	add(m.slowpath, before.SlowPath, after.SlowPath)
+	add(m.probes, before.Probes, after.Probes)
+	add(m.upcalls, before.Upcalls, after.Upcalls)
+	add(m.upcallDrops, before.UpcallDrops, after.UpcallDrops)
+	add(m.upcallShed, before.UpcallShed, after.UpcallShed)
 }
 
 // worker is one PMD: a private EMC, a private classifier handle (lock-free
@@ -204,6 +258,9 @@ func New(cfg Config) (*Pool, error) {
 	}
 	p := &Pool{sw: cfg.Switch, batch: cfg.BatchSize, ports: cfg.Ports,
 		srcByWorker: cfg.SourceByWorker}
+	if cfg.Metrics != nil {
+		p.tm = newPoolMetrics(cfg.Metrics)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{id: i, mfc: cfg.Switch.MFC().NewHandle(),
 			portStats: make([]PortStats, cfg.Ports)}
@@ -425,6 +482,19 @@ func (w *worker) run(p *Pool, now int64, out []vswitch.Verdict, deferred bool) {
 // synchronously, handler mode submits and waits for the burst's tickets,
 // and deferred mode submits without waiting.
 func (w *worker) burst(p *Pool, hs []bitvec.Vec, idx, ports []int, now int64, out []vswitch.Verdict, deferred bool) {
+	if p.tm != nil {
+		// Snapshot-diff telemetry: one struct copy before, a few padded
+		// atomic adds after, nothing per packet. (The Ports slice header is
+		// copied, not the elements; record only diffs scalar fields.)
+		before := w.stats
+		w.burstRun(p, hs, idx, ports, now, out, deferred)
+		p.tm.record(w.id, before, w.stats)
+		return
+	}
+	w.burstRun(p, hs, idx, ports, now, out, deferred)
+}
+
+func (w *worker) burstRun(p *Pool, hs []bitvec.Vec, idx, ports []int, now int64, out []vswitch.Verdict, deferred bool) {
 	w.stats.Packets += uint64(len(hs))
 	for _, port := range ports {
 		w.portStats[port].Packets++

@@ -8,6 +8,7 @@ import (
 	"tse/internal/core"
 	"tse/internal/datapath"
 	"tse/internal/flowtable"
+	"tse/internal/telemetry"
 	"tse/internal/vswitch"
 )
 
@@ -96,6 +97,15 @@ type Scenario struct {
 	// replacing inline idle expiry. See upcall.go; Workers <= 1 runs one
 	// worker over the datapath pool.
 	Upcall *UpcallParams
+	// Telemetry, when non-nil, threads the hub's registry, journal and
+	// tracer through the asynchronous run: the switch, classifier, PMD
+	// pool, upcall subsystem and revalidator attach their metric families,
+	// control-plane events (ACL swaps, fault injections, breaker
+	// transitions, quota retunes, sweeps) land in the journal, and sampled
+	// upcalls get trace spans. Any hub field may be nil. The synchronous
+	// runners ignore it — the async path is where the slow-path machinery
+	// this layer observes lives.
+	Telemetry *telemetry.Hub
 }
 
 // Sample is one per-second observation.

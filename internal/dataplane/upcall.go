@@ -6,6 +6,7 @@ import (
 	"tse/internal/bitvec"
 	"tse/internal/datapath"
 	"tse/internal/faults"
+	"tse/internal/telemetry"
 	"tse/internal/upcall"
 	"tse/internal/vswitch"
 )
@@ -138,6 +139,12 @@ type UpcallSample struct {
 	// install fault this second; SweepStalls counts revalidator sweeps an
 	// injected stall suppressed.
 	InstallErrors, SweepStalls int
+	// OrphanPressure is this second's dumped-entry count attributed to
+	// ingress ports outside the upcall subsystem's source range
+	// (upcall.RevalidatorStats.OrphanPressure delta): megaflow footprint
+	// the adaptive controller measured but could not feed back into any
+	// quota.
+	OrphanPressure int
 }
 
 // portsOrNil returns the explicit ingress-port slice for port-aware
@@ -185,11 +192,22 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 	if usePorts {
 		ports = sc.portCount()
 	}
+	// Unpack the optional telemetry hub; every consumer below is nil-safe.
+	var reg *telemetry.Registry
+	var journal *telemetry.Journal
+	var tracer *telemetry.Tracer
+	if sc.Telemetry != nil {
+		reg, journal, tracer = sc.Telemetry.Reg, sc.Telemetry.Journal, sc.Telemetry.Tracer
+	}
+	if reg != nil {
+		sc.Switch.AttachMetrics(reg)
+	}
 	pool, err := datapath.New(datapath.Config{
 		Switch:         sc.Switch,
 		Workers:        nw,
 		Ports:          ports,
 		SourceByWorker: up.WorkerKeyedQuota,
+		Metrics:        reg,
 		// Handlers stays 0: the simulator owns the drain (HandleN below)
 		// so runs are deterministic.
 		Upcall: &upcall.Options{
@@ -208,6 +226,9 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 				HalfOpenProbes: up.HalfOpenProbes,
 				EWMAAlpha:      up.BreakerEWMAAlpha,
 			},
+			Metrics: reg,
+			Journal: journal,
+			Tracer:  tracer,
 		},
 		DisableEMC: true,
 	})
@@ -226,6 +247,8 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 		IntervalSec:   up.RevalidateSec,
 		PendingAgeSec: up.PendingAgeSec,
 		Injector:      up.Faults,
+		Journal:       journal,
+		Metrics:       reg,
 	}
 	if up.Adaptive != nil {
 		rvCfg.Subsystem = sub
@@ -252,9 +275,24 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 	prevPer := sub.PerSource()
 	prevInstalls := sc.Switch.Counters().Installs
 	prevInstallErrs := sc.Switch.Counters().InstallErrors
-	prevSweepStalls := rv.Stats().SweepStalls
+	prevRv := rv.Stats()
 	for t := 0; t < sc.DurationSec; t++ {
 		now := int64(t)
+		// Journal this tick's scheduled fault injections before anything
+		// fires, so the timeline shows cause (injection) strictly before
+		// effect (panic, stall, shed). Delivery faults get their own kind.
+		if journal != nil && up.Faults != nil {
+			for _, ev := range up.Faults.ScheduledAt(now) {
+				kind, actor := telemetry.EvFaultInjected, ev.Handler
+				switch ev.Kind {
+				case faults.DeliverDelay, faults.DeliverDuplicate:
+					kind, actor = telemetry.EvDeliveryFault, ev.Source
+				case faults.RevalidatorStall, faults.InstallError:
+					actor = -1
+				}
+				journal.RecordNote(now, kind, actor, ev.Duration, ev.Kind.String())
+			}
+		}
 		// The revalidator owns megaflow lifecycle: idle expiry plus
 		// dump-and-check against the current table (and, in adaptive mode,
 		// the per-port quota re-tune). No Switch.Tick here.
@@ -279,6 +317,8 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 					return err
 				}
 				pool.FlushEMC()
+				journal.RecordNote(now, telemetry.EvACLSwap, ph.Port, 0,
+					"mid-run ACL injection")
 			}
 			tr := ph.Trace
 			if tr == nil || tr.Len() == 0 || n <= 0 {
@@ -370,7 +410,7 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 		per := sub.PerSource()
 		counters := sc.Switch.Counters()
 		installs := counters.Installs
-		sweepStalls := rv.Stats().SweepStalls
+		rvStats := rv.Stats()
 		// This second's flow-setup latency distribution: the residence
 		// histograms are cumulative, so the per-second series is the delta
 		// against the previous sample's snapshot.
@@ -401,7 +441,11 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 			BreakerTrips:     int(st.BreakerTrips - prevStats.BreakerTrips),
 			BreakerShed:      int(st.BreakerShed - prevStats.BreakerShed),
 			InstallErrors:    int(counters.InstallErrors - prevInstallErrs),
-			SweepStalls:      int(sweepStalls - prevSweepStalls),
+			SweepStalls:      int(rvStats.SweepStalls - prevRv.SweepStalls),
+			OrphanPressure:   int(rvStats.OrphanPressure - prevRv.OrphanPressure),
+		}
+		if usample.InstallErrors > 0 {
+			journal.Record(now, telemetry.EvInstallError, -1, int64(usample.InstallErrors))
 		}
 		if phases := sub.BreakerPhases(); phases != nil {
 			usample.PortBreaker = make([]string, len(phases))
@@ -417,7 +461,7 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 			usample.PortFlowSetupP99[p] = int(d.P99())
 		}
 		prevStats, prevPer, prevInstalls = st, per, installs
-		prevInstallErrs, prevSweepStalls = counters.InstallErrors, sweepStalls
+		prevInstallErrs, prevRv = counters.InstallErrors, rvStats
 
 		pps := waterfillWorkers(nw, workerOf, offered, costs, workerAttack,
 			perCore, sc.NIC.LinePps())

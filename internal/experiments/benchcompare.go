@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
+
+	"tse/internal/ascii"
 )
 
 // regressionPrefixes name the benchmark families the CI regression gate
@@ -16,12 +19,15 @@ import (
 // per-install and batched — so the InsertBatch amortisation win cannot
 // silently regress, and the residence accounting on the upcall service
 // loop (the per-pop histogram update and the per-second quantile read the
-// flow-setup latency metric added). Other results (scenario summaries)
-// are trajectory data but not gated: they mix policy with speed.
+// flow-setup latency metric added), and the telemetry primitives
+// themselves (a counter increment or histogram observe that slows down or
+// starts allocating taxes every instrumented family at once). Other
+// results (scenario summaries) are trajectory data but not gated: they
+// mix policy with speed.
 var regressionPrefixes = []string{
 	"tss_lookup_miss_", "victim_lookup_",
 	"tss_install_", "upcall_submit_", "upcall_roundtrip_",
-	"upcall_residence_",
+	"upcall_residence_", "telemetry_",
 }
 
 // RegressionFactor is the slowdown the gate tolerates between two
@@ -95,6 +101,64 @@ func CompareBenchReports(w io.Writer, oldRep, newRep *BenchReport, factor float6
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("bench regression gate failed:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+// CompareBenchTrajectory renders the gated families' perf history across
+// three or more committed BENCH files (oldest first): for every gated
+// benchmark name present in any report, the first and last measured
+// ns/op, the end-to-end ratio, and an ASCII sparkline of the whole
+// series — one glyph per file, a space where the file predates the
+// benchmark. The trajectory is informational (the pairwise gate is
+// CompareBenchFiles); it exists so a slow drift spread over many PRs,
+// each inside the 2x gate, is still visible in one glance.
+func CompareBenchTrajectory(w io.Writer, paths []string) error {
+	if len(paths) < 3 {
+		return fmt.Errorf("trajectory mode needs >= 3 bench files, got %d", len(paths))
+	}
+	reps := make([]*BenchReport, len(paths))
+	for i, p := range paths {
+		rep, err := LoadBenchReport(p)
+		if err != nil {
+			return err
+		}
+		reps[i] = rep
+	}
+	// Collect gated names in first-appearance order across the series.
+	var names []string
+	seen := make(map[string]bool)
+	for _, rep := range reps {
+		for _, r := range rep.Results {
+			if gated(r.Name) && !seen[r.Name] {
+				seen[r.Name] = true
+				names = append(names, r.Name)
+			}
+		}
+	}
+	fmt.Fprintf(w, "perf trajectory over %d reports: %s -> %s\n",
+		len(paths), paths[0], paths[len(paths)-1])
+	fmt.Fprintf(w, "%-36s %12s %12s %8s  %s\n",
+		"benchmark", "first[ns]", "last[ns]", "ratio", "trajectory")
+	for _, name := range names {
+		series := make([]float64, len(reps))
+		first, last := math.NaN(), math.NaN()
+		for i, rep := range reps {
+			series[i] = math.NaN()
+			for _, r := range rep.Results {
+				if r.Name == name {
+					series[i] = r.NsPerOp
+					if math.IsNaN(first) {
+						first = r.NsPerOp
+					}
+					last = r.NsPerOp
+					break
+				}
+			}
+		}
+		ratio := last / first // NaN propagates when either end is missing
+		fmt.Fprintf(w, "%-36s %12.1f %12.1f %7.2fx  |%s|\n",
+			name, first, last, ratio, ascii.Sparkline(series))
 	}
 	return nil
 }

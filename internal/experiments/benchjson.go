@@ -15,6 +15,7 @@ import (
 	"tse/internal/dataplane"
 	"tse/internal/flowtable"
 	"tse/internal/microflow"
+	"tse/internal/telemetry"
 	"tse/internal/tss"
 	"tse/internal/upcall"
 	"tse/internal/vswitch"
@@ -31,8 +32,13 @@ import (
 // and the portfairness adaptiveraw ablation scenario; v5 adds the chaos
 // fault-injection scenarios and the self-healing fields on scenario rows
 // (handler_restarts, breaker_trips, recovery_sec — recovery_sec is -1 for
-// scenarios without a fault schedule).
-const BenchSchema = "tse-bench/v5"
+// scenarios without a fault schedule); v6 adds the telemetry_*
+// micro-benchmarks (the sharded counter/histogram hot-path cost the gate
+// now watches), runs the upcall micro-benchmarks with a live metrics
+// registry attached — the gate measures the instrumented path, not the
+// nil-hub fast path — and exports each scenario's end-of-run telemetry
+// snapshot in the metrics field.
+const BenchSchema = "tse-bench/v6"
 
 // BenchResult is one measured micro-benchmark in the JSON report.
 type BenchResult struct {
@@ -95,6 +101,12 @@ type ScenarioResult struct {
 	// WallMs is the host wall-clock time of the run (informational; the
 	// scenario itself is virtual-time deterministic).
 	WallMs float64 `json:"wall_ms"`
+	// Metrics is the run's end-of-run telemetry registry snapshot: every
+	// nonzero counter total and gauge level (histograms are omitted — the
+	// fct_* fields already carry the quantiles). Process-level gauges
+	// (tse_up, tse_goroutines) are excluded so the map stays
+	// deterministic.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // BenchReport is the machine-readable perf snapshot tsebench -json emits.
@@ -343,14 +355,16 @@ func BenchJSON() (*BenchReport, error) {
 	// submit→queue→handle round trip. The round trip runs against a
 	// suppressed megaflow (monitor-deleted with the quirk active), the one
 	// slow-path shape that is stationary under repetition: classification
-	// happens, no install mutates the cache.
+	// happens, no install mutates the cache. Both subsystems run with a
+	// live metrics registry attached — the gate measures the telemetry
+	// bill the production path pays, not the nil-registry fast path.
 	{
 		tbl := flowtable.UseCaseACL(flowtable.Dp, flowtable.ACLParams{})
 		sw, err := vswitch.New(vswitch.Config{Table: tbl, DisableMicroflow: true})
 		if err != nil {
 			return nil, err
 		}
-		sub, err := upcall.New(sw, 1, upcall.Options{})
+		sub, err := upcall.New(sw, 1, upcall.Options{Metrics: telemetry.NewRegistry(4)})
 		if err != nil {
 			return nil, err
 		}
@@ -364,7 +378,7 @@ func BenchJSON() (*BenchReport, error) {
 			}
 		})
 		// Park one upcall as pending so every Submit coalesces onto it.
-		sub2, err := upcall.New(sw, 1, upcall.Options{})
+		sub2, err := upcall.New(sw, 1, upcall.Options{Metrics: telemetry.NewRegistry(4)})
 		if err != nil {
 			return nil, err
 		}
@@ -373,6 +387,30 @@ func BenchJSON() (*BenchReport, error) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sub2.Submit(0, h, 0)
+			}
+		})
+	}
+
+	// Telemetry primitive hot paths: the sharded-counter increment every
+	// instrumented touch pays and the histogram observe on the upcall
+	// residence path. Both must stay allocation-free — the whole padded
+	// per-shard design exists so instrumentation never shows up in the
+	// families above.
+	{
+		reg := telemetry.NewRegistry(4)
+		ctr := reg.Counter("bench_ctr", "benchmark counter")
+		add("telemetry_counter_inc", nil, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ctr.Inc(0)
+			}
+		})
+		hist := reg.Histogram("bench_hist", "benchmark histogram",
+			[]int64{1, 2, 4, 8, 16})
+		add("telemetry_hist_observe", nil, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				hist.Observe(0, int64(i&15))
 			}
 		})
 	}
@@ -468,6 +506,8 @@ func BenchJSON() (*BenchReport, error) {
 	// series is folded by the same summarise the `saturation` experiment
 	// prints, so the JSON trajectory and the table cannot diverge.
 	runScenario := func(sc *dataplane.Scenario) error {
+		hub := telemetry.NewHub()
+		sc.Telemetry = hub
 		start := time.Now()
 		samples, err := sc.Run()
 		if err != nil {
@@ -490,6 +530,14 @@ func BenchJSON() (*BenchReport, error) {
 		if faultSec >= 0 {
 			recovery = chaosRecovery(samples, faultSec)
 		}
+		metrics := make(map[string]float64)
+		for _, p := range hub.Reg.Snapshot().Points {
+			if p.Kind == telemetry.KindHistogram || p.Value == 0 ||
+				p.Name == "tse_up" || p.Name == "tse_goroutines" {
+				continue
+			}
+			metrics[p.Name] = p.Value
+		}
 		rep.Scenarios = append(rep.Scenarios, ScenarioResult{
 			Name:            sc.Name,
 			Workers:         sc.Workers,
@@ -509,6 +557,7 @@ func BenchJSON() (*BenchReport, error) {
 			BreakerTrips:    trips,
 			RecoverySec:     recovery,
 			WallMs:          float64(wall.Nanoseconds()) / 1e6,
+			Metrics:         metrics,
 		})
 		return nil
 	}

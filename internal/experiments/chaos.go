@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"tse/internal/dataplane"
+	"tse/internal/telemetry"
 )
 
 func init() {
@@ -144,17 +145,21 @@ func chaosRecovery(samples []dataplane.Sample, faultSec int) int {
 	return -1
 }
 
-// runChaos builds and runs one chaos mode.
-func runChaos(mode dataplane.ChaosMode) (chaosSummary, []dataplane.Sample, error) {
+// runChaos builds and runs one chaos mode, returning the run's slice of
+// the control-plane event journal alongside the summary.
+func runChaos(mode dataplane.ChaosMode) (chaosSummary, []dataplane.Sample, []telemetry.Event, error) {
 	sc, err := dataplane.ChaosScenario(mode)
 	if err != nil {
-		return chaosSummary{}, nil, err
+		return chaosSummary{}, nil, nil, err
 	}
+	hub := runHub()
+	sc.Telemetry = hub
+	mark := hub.Journal.Seq()
 	samples, err := sc.Run()
 	if err != nil {
-		return chaosSummary{}, nil, err
+		return chaosSummary{}, nil, nil, err
 	}
-	return foldChaos(mode, samples), samples, nil
+	return foldChaos(mode, samples), samples, hub.Journal.EventsSince(mark), nil
 }
 
 // RunChaos replays the port-fairness attack under the deterministic fault
@@ -168,17 +173,18 @@ func RunChaos(w io.Writer) error {
 		"panics", "stalls", "respawn", "requeue", "reaped",
 		"trips", "shed", "recovery", "vfct-p99")
 	var supSamples []dataplane.Sample
+	var supEvents []telemetry.Event
 	for _, mode := range []dataplane.ChaosMode{
 		dataplane.ChaosFaultFree,
 		dataplane.ChaosUnsupervised,
 		dataplane.ChaosSupervised,
 	} {
-		s, samples, err := runChaos(mode)
+		s, samples, events, err := runChaos(mode)
 		if err != nil {
 			return err
 		}
 		if mode == dataplane.ChaosSupervised {
-			supSamples = samples
+			supSamples, supEvents = samples, events
 		}
 		rec := "-"
 		if s.RecoverySec >= 0 {
@@ -204,5 +210,17 @@ func RunChaos(w io.Writer) error {
 	fmt.Fprintln(w, "residence violates the 2 s SLO — so victim flow setup returns to its")
 	fmt.Fprintln(w, "pre-fault envelope within the recovery column's bound while the flood")
 	fmt.Fprintln(w, "still rages.")
+
+	// The causal timeline: the supervised run's control-plane journal,
+	// filtered to injections and the self-healing reactions, so cause
+	// (fault fires) reads strictly above effect (respawn, trip, close).
+	fmt.Fprintln(w, "\ncausal timeline — supervised run (control-plane event journal):")
+	telemetry.RenderTimeline(w, telemetry.FilterEvents(supEvents,
+		telemetry.EvFaultInjected, telemetry.EvDeliveryFault,
+		telemetry.EvHandlerPanic, telemetry.EvOrphanRequeue,
+		telemetry.EvHandlerStall, telemetry.EvHandlerRestart,
+		telemetry.EvBreakerTrip, telemetry.EvBreakerHalfOpen,
+		telemetry.EvBreakerClose, telemetry.EvInstallError,
+		telemetry.EvSweepStall, telemetry.EvPendingReaped))
 	return renderFCTPanel(w, "chaos supervised", supSamples)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tse/internal/dataplane"
+	"tse/internal/telemetry"
 )
 
 // TestChaosSelfHealing is the acceptance criterion, asserted on the
@@ -15,16 +16,16 @@ import (
 // and returns victim flow-setup p99 to within 1.5x its pre-fault level
 // within 10 modelled seconds.
 func TestChaosSelfHealing(t *testing.T) {
-	run := func(mode dataplane.ChaosMode) chaosSummary {
+	run := func(mode dataplane.ChaosMode) (chaosSummary, []telemetry.Event) {
 		t.Helper()
-		s, _, err := runChaos(mode)
+		s, _, events, err := runChaos(mode)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return s
+		return s, events
 	}
-	sup := run(dataplane.ChaosSupervised)
-	unsup := run(dataplane.ChaosUnsupervised)
+	sup, supEvents := run(dataplane.ChaosSupervised)
+	unsup, _ := run(dataplane.ChaosUnsupervised)
 
 	// The fault schedule fired and was fully observed.
 	if sup.FaultSec < 20 || sup.FaultSec > 30 {
@@ -75,31 +76,106 @@ func TestChaosSelfHealing(t *testing.T) {
 	if sup.BreakerTrips < 1 || sup.BreakerShed < 1 {
 		t.Errorf("breaker trips=%d shed=%d, want >= 1 each", sup.BreakerTrips, sup.BreakerShed)
 	}
+
+	// The control-plane journal tells the self-healing story in causal
+	// order: the injected panic, then the supervisor's respawn, then the
+	// breaker tripping on the degraded backlog, then its recovery close.
+	firstFrom := func(kind telemetry.EventKind, from int) int {
+		for i := from; i < len(supEvents); i++ {
+			if supEvents[i].Kind == kind {
+				return i
+			}
+		}
+		return -1
+	}
+	// The panic chain, each step searched strictly after its cause: the
+	// injected panic, the supervisor's respawn, the breaker tripping on
+	// the degraded service, and the breaker entering its half-open
+	// recovery probe. (The run's final trip lands after the flood dies,
+	// so the half-open probe — not a close — is the last recovery step
+	// the journal can show; a closed-loop trip→close cycle is asserted
+	// separately below on the mid-flood cycle.)
+	panicAt := firstFrom(telemetry.EvHandlerPanic, 0)
+	restartAt, tripAt, probeAt := -1, -1, -1
+	if panicAt >= 0 {
+		restartAt = firstFrom(telemetry.EvHandlerRestart, panicAt+1)
+	}
+	if restartAt >= 0 {
+		tripAt = firstFrom(telemetry.EvBreakerTrip, restartAt+1)
+	}
+	if tripAt >= 0 {
+		probeAt = firstFrom(telemetry.EvBreakerHalfOpen, tripAt+1)
+	}
+	for _, step := range []struct {
+		name string
+		at   int
+	}{
+		{"handler-panic", panicAt},
+		{"handler-restart after the panic", restartAt},
+		{"breaker-trip after the restart", tripAt},
+		{"breaker-half-open after the trip", probeAt},
+	} {
+		if step.at < 0 {
+			t.Fatalf("journal recorded no %s event (chain: panic@%d restart@%d trip@%d half-open@%d)",
+				step.name, panicAt, restartAt, tripAt, probeAt)
+		}
+	}
+	// Ticks agree with the order (Seq is monotonic, ticks must be too).
+	if supEvents[panicAt].Tick > supEvents[restartAt].Tick ||
+		supEvents[tripAt].Tick > supEvents[probeAt].Tick {
+		t.Errorf("journal ticks disagree with order: panic t=%d restart t=%d trip t=%d half-open t=%d",
+			supEvents[panicAt].Tick, supEvents[restartAt].Tick,
+			supEvents[tripAt].Tick, supEvents[probeAt].Tick)
+	}
+	// A full trip→close recovery cycle happened while the flood (and its
+	// residence signal) was still alive.
+	firstTrip := firstFrom(telemetry.EvBreakerTrip, 0)
+	if closeAt := firstFrom(telemetry.EvBreakerClose, firstTrip+1); firstTrip < 0 || closeAt < 0 {
+		t.Errorf("journal shows no trip→close recovery cycle (trip@%d close@%d)", firstTrip, closeAt)
+	}
 }
 
 // TestChaosDeterministic: the fault schedule is scripted against the
 // virtual clock, so two supervised runs fold to identical summaries —
 // bit-for-bit replayability is what makes the chaos assertions stable.
 func TestChaosDeterministic(t *testing.T) {
-	a, _, err := runChaos(dataplane.ChaosSupervised)
+	a, _, aEv, err := runChaos(dataplane.ChaosSupervised)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := runChaos(dataplane.ChaosSupervised)
+	b, _, bEv, err := runChaos(dataplane.ChaosSupervised)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("two supervised chaos runs diverged:\n%+v\n%+v", a, b)
 	}
+	// The journal replays identically too, modulo the global sequence
+	// numbers (each run gets its own journal, so Seq restarts — compare
+	// the (tick, kind, actor, value) stream).
+	if len(aEv) != len(bEv) {
+		t.Fatalf("journal lengths diverged: %d vs %d", len(aEv), len(bEv))
+	}
+	for i := range aEv {
+		x, y := aEv[i], bEv[i]
+		if x.Tick != y.Tick || x.Kind != y.Kind || x.Actor != y.Actor || x.Value != y.Value {
+			t.Errorf("journal event %d diverged: %v vs %v", i, x, y)
+		}
+	}
 }
 
 // TestChaosFaultFreeClean: without a fault plan no fault counters move and
 // no recovery clock starts — the injector hooks are inert when nil.
 func TestChaosFaultFreeClean(t *testing.T) {
-	s, _, err := runChaos(dataplane.ChaosFaultFree)
+	s, _, events, err := runChaos(dataplane.ChaosFaultFree)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if n := len(telemetry.FilterEvents(events, telemetry.EvFaultInjected,
+		telemetry.EvDeliveryFault, telemetry.EvHandlerPanic,
+		telemetry.EvHandlerStall, telemetry.EvInstallError,
+		telemetry.EvSweepStall)); n != 0 {
+		t.Errorf("fault-free journal recorded %d fault events", n)
 	}
 	if s.Panics != 0 || s.Stalls != 0 || s.Restarts != 0 || s.Requeued != 0 ||
 		s.InstallErrors != 0 || s.SweepStalls != 0 {

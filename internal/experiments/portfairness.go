@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"tse/internal/dataplane"
+	"tse/internal/telemetry"
 )
 
 func init() {
@@ -39,6 +40,12 @@ type fairnessSummary struct {
 	// second — the oscillation figure the de-flapped controller exists to
 	// drive to zero.
 	QuotaChanges int
+	// OrphanPressure totals the revalidator's dumped-entry count for
+	// ingress ports outside the upcall subsystem's source range over the
+	// run: slow-path load the adaptive controller measured but had no
+	// quota to feed it back into. Nonzero means the scenario drives ports
+	// the admission layer was not sized for.
+	OrphanPressure int
 }
 
 // foldPortFairness summarises one run; the attack window of
@@ -57,6 +64,7 @@ func foldPortFairness(mode dataplane.PortFairnessMode, samples []dataplane.Sampl
 		}
 		s.Enqueued += u.Enqueued
 		s.QuotaDrops += u.QuotaDrops
+		s.OrphanPressure += u.OrphanPressure
 		if smp.Sec >= 20 && smp.Sec < 35 && len(smp.VictimGbps) > 1 {
 			lateSum += smp.VictimGbps[1]
 			lateN++
@@ -87,17 +95,21 @@ func foldPortFairness(mode dataplane.PortFairnessMode, samples []dataplane.Sampl
 	return s
 }
 
-// runPortFairness builds and runs one port-fairness mode.
-func runPortFairness(mode dataplane.PortFairnessMode) (fairnessSummary, []dataplane.Sample, error) {
+// runPortFairness builds and runs one port-fairness mode, returning the
+// run's slice of the control-plane event journal alongside the summary.
+func runPortFairness(mode dataplane.PortFairnessMode) (fairnessSummary, []dataplane.Sample, []telemetry.Event, error) {
 	sc, err := dataplane.PortFairnessScenario(mode)
 	if err != nil {
-		return fairnessSummary{}, nil, err
+		return fairnessSummary{}, nil, nil, err
 	}
+	hub := runHub()
+	sc.Telemetry = hub
+	mark := hub.Journal.Seq()
 	samples, err := sc.Run()
 	if err != nil {
-		return fairnessSummary{}, nil, err
+		return fairnessSummary{}, nil, nil, err
 	}
-	return foldPortFairness(mode, samples), samples, nil
+	return foldPortFairness(mode, samples), samples, hub.Journal.EventsSince(mark), nil
 }
 
 // RunPortFairness regenerates the victim-throughput-under-flood comparison
@@ -107,28 +119,32 @@ func runPortFairness(mode dataplane.PortFairnessMode) (fairnessSummary, []datapl
 // on raw per-sweep pressure, whose quota wanders every second — against
 // which the smoothed two-input controller's flat quota line reads.
 func RunPortFairness(w io.Writer) error {
-	fmt.Fprintf(w, "%-12s %10s %9s %11s %11s %10s %8s %11s %9s %8s\n",
+	fmt.Fprintf(w, "%-12s %10s %9s %11s %11s %10s %8s %11s %9s %8s %9s\n",
 		"quota mode", "peak masks", "enqueued", "quota-drops",
 		"late victim", "under-atk", "post", "flood quota",
-		"q-changes", "vfct-p99")
+		"q-changes", "vfct-p99", "orphan-pr")
 	var adaptiveSamples []dataplane.Sample
+	var rawEvents, adaptiveEvents []telemetry.Event
 	for _, mode := range []dataplane.PortFairnessMode{
 		dataplane.FairnessWorkerKeyed,
 		dataplane.FairnessPortKeyed,
 		dataplane.FairnessAdaptiveRaw,
 		dataplane.FairnessAdaptive,
 	} {
-		s, samples, err := runPortFairness(mode)
+		s, samples, events, err := runPortFairness(mode)
 		if err != nil {
 			return err
 		}
-		if mode == dataplane.FairnessAdaptive {
-			adaptiveSamples = samples
+		switch mode {
+		case dataplane.FairnessAdaptiveRaw:
+			rawEvents = events
+		case dataplane.FairnessAdaptive:
+			adaptiveSamples, adaptiveEvents = samples, events
 		}
-		fmt.Fprintf(w, "%-12s %10d %9d %11d %10.2fG %10.2fG %7.2fG %11d %9d %7ds\n",
+		fmt.Fprintf(w, "%-12s %10d %9d %11d %10.2fG %10.2fG %7.2fG %11d %9d %7ds %9d\n",
 			s.Mode, s.PeakMasks, s.Enqueued, s.QuotaDrops,
 			s.LateUnderGbps, s.UnderGbps, s.PostGbps, s.FloodQuotaEnd,
-			s.QuotaChanges, s.VictimFctP99)
+			s.QuotaChanges, s.VictimFctP99, s.OrphanPressure)
 	}
 	fmt.Fprintln(w, "\nAll three vports share ONE PMD worker. Worker-keyed (the pre-vport")
 	fmt.Fprintln(w, "shape), the flood drains the shared admission bucket every second, so")
@@ -148,5 +164,16 @@ func RunPortFairness(w io.Writer) error {
 	fmt.Fprintln(w, "refills it), while the EWMA+hysteresis controller settles once per")
 	fmt.Fprintln(w, "regime shift and holds. vfct-p99 is the victims' worst flow-setup")
 	fmt.Fprintln(w, "latency under attack — the metric the whole quota exercise protects.")
+	fmt.Fprintln(w, "orphan-pr totals revalidator pressure from ports outside the")
+	fmt.Fprintln(w, "admission layer's source range: load measured but untunable.")
+
+	// The flap story, straight from the journal: every quota move the two
+	// adaptive controllers made. The raw ablation's timeline is dense
+	// (one retune per churn bounce); the smoothed controller's is a few
+	// lines — the whole de-flapping argument in two ASCII rails.
+	fmt.Fprintln(w, "\nquota-retune timeline — adaptiveraw (every move is a flap):")
+	telemetry.RenderTimeline(w, telemetry.FilterEvents(rawEvents, telemetry.EvQuotaRetune))
+	fmt.Fprintln(w, "\nquota-retune timeline — adaptive (EWMA + hysteresis):")
+	telemetry.RenderTimeline(w, telemetry.FilterEvents(adaptiveEvents, telemetry.EvQuotaRetune))
 	return renderFCTPanel(w, "portfairness adaptive", adaptiveSamples)
 }

@@ -13,7 +13,7 @@ import (
 func TestPortFairnessOrdering(t *testing.T) {
 	run := func(mode dataplane.PortFairnessMode) fairnessSummary {
 		t.Helper()
-		s, _, err := runPortFairness(mode)
+		s, _, _, err := runPortFairness(mode)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,7 +63,7 @@ func TestPortFairnessOrdering(t *testing.T) {
 func TestPortFairnessQuotaStability(t *testing.T) {
 	quotaSeries := func(mode dataplane.PortFairnessMode) []int {
 		t.Helper()
-		_, samples, err := runPortFairness(mode)
+		_, samples, _, err := runPortFairness(mode)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +123,7 @@ func TestPortFairnessQuotaStability(t *testing.T) {
 	}
 	// Recovery: after the flood stops the smoothed controller must walk the
 	// quota back to base rather than latching low.
-	_, samples, err := runPortFairness(dataplane.FairnessAdaptive)
+	_, samples, _, err := runPortFairness(dataplane.FairnessAdaptive)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,25 @@
+package experiments
+
+import "tse/internal/telemetry"
+
+// liveHub, when set via SetTelemetry, is the process-wide hub the -serve
+// flag installs: experiment runs thread it through their scenarios so the
+// live /metrics, /journal and pprof endpoints observe the runs as they
+// happen. Runs mark the journal sequence before starting and slice with
+// EventsSince after, so several runs can share one live journal without
+// seeing each other's events.
+var liveHub *telemetry.Hub
+
+// SetTelemetry installs the live hub (nil restores private per-run hubs).
+func SetTelemetry(h *telemetry.Hub) { liveHub = h }
+
+// runHub returns the hub an experiment run should thread through its
+// scenario: the live hub when one is serving, otherwise a private hub
+// with just a journal — enough for the causal timelines the experiments
+// print, without the registry registration churn.
+func runHub() *telemetry.Hub {
+	if liveHub != nil {
+		return liveHub
+	}
+	return &telemetry.Hub{Journal: telemetry.NewJournal(0)}
+}

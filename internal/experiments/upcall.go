@@ -108,6 +108,7 @@ func runSaturationConfig(workers int, mode string) (satSummary, []dataplane.Samp
 	if mode == "inline" {
 		sc.Upcall = nil
 	}
+	sc.Telemetry = runHub()
 	samples, err := sc.Run()
 	if err != nil {
 		return satSummary{}, nil, err

@@ -174,6 +174,25 @@ func (p *Plan) Events() []Event {
 	return out
 }
 
+// ScheduledAt returns the events whose window opens at exactly now, in
+// schedule order. It reads the schedule, not the consumed state, so the
+// dataplane loop can journal "fault X fires this tick" exactly once per
+// event regardless of when (or whether) a consumer picks it up.
+func (p *Plan) ScheduledAt(now int64) []Event {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Event
+	for i := range p.events {
+		if p.events[i].Tick == now {
+			out = append(out, p.events[i].Event)
+		}
+	}
+	return out
+}
+
 // Seed returns the seed a Random plan was generated from (0 for explicit
 // plans).
 func (p *Plan) Seed() int64 {

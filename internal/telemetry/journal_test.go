@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestJournalOrdering: events come back oldest-first with monotonically
+// increasing Seq, and EventsSince slices a later run's events off a
+// shared journal.
+func TestJournalOrdering(t *testing.T) {
+	j := NewJournal(16)
+	j.Record(1, EvHandlerPanic, 0, 3)
+	j.Record(1, EvHandlerRestart, 0, 0)
+	j.Record(4, EvBreakerTrip, 2, 5)
+	ev := j.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Fatalf("Seq not monotonic: %v", ev)
+		}
+	}
+	if ev[0].Kind != EvHandlerPanic || ev[1].Kind != EvHandlerRestart || ev[2].Kind != EvBreakerTrip {
+		t.Fatalf("order lost: %v", ev)
+	}
+	mark := j.Seq()
+	j.Record(9, EvBreakerClose, 2, 1)
+	since := j.EventsSince(mark)
+	if len(since) != 1 || since[0].Kind != EvBreakerClose {
+		t.Fatalf("EventsSince(%d) = %v, want just the close", mark, since)
+	}
+}
+
+// TestJournalWrapAround: the ring keeps the newest cap events, Dropped
+// counts evictions, and Seq survives the wrap so ordering stays
+// provable.
+func TestJournalWrapAround(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Record(int64(i), EvSweep, -1, int64(i))
+	}
+	ev := j.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	if ev[0].Tick != 6 || ev[3].Tick != 9 {
+		t.Fatalf("wrong window after wrap: %v", ev)
+	}
+	if ev[0].Seq != 6 {
+		t.Fatalf("Seq reset on wrap: %v", ev[0])
+	}
+	if j.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", j.Dropped())
+	}
+	if j.Seq() != 10 {
+		t.Fatalf("Seq = %d, want 10", j.Seq())
+	}
+}
+
+// TestJournalNilSafe: a nil journal swallows records and reads — the
+// instrumented paths record unconditionally.
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Record(1, EvSweep, -1, 0)
+	j.RecordNote(1, EvFaultInjected, 0, 0, "x")
+	if j.Events() != nil || j.Seq() != 0 || j.Dropped() != 0 {
+		t.Fatal("nil journal not inert")
+	}
+}
+
+// TestRenderTimeline: tick labels appear once per tick, the rail closes
+// on the tick's last event, and notes/values render.
+func TestRenderTimeline(t *testing.T) {
+	j := NewJournal(8)
+	j.Record(23, EvHandlerPanic, 0, 12)
+	j.Record(23, EvHandlerRestart, 0, 0)
+	j.RecordNote(26, EvFaultInjected, -1, 0, "install-error")
+	var b strings.Builder
+	RenderTimeline(&b, j.Events())
+	out := b.String()
+	for _, want := range []string{
+		"t=23  ├ handler-panic",
+		"└ handler-restart",
+		"t=26  └ fault-injected",
+		"(install-error)",
+		"handler=0 n=12",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "t=23") != 1 {
+		t.Errorf("tick label repeated:\n%s", out)
+	}
+	var empty strings.Builder
+	RenderTimeline(&empty, nil)
+	if !strings.Contains(empty.String(), "(no events)") {
+		t.Errorf("empty timeline = %q", empty.String())
+	}
+}
+
+// TestFilterEvents keeps only requested kinds in order.
+func TestFilterEvents(t *testing.T) {
+	j := NewJournal(8)
+	j.Record(1, EvSweep, -1, 2)
+	j.Record(2, EvBreakerTrip, 0, 3)
+	j.Record(3, EvSweep, -1, 1)
+	got := FilterEvents(j.Events(), EvBreakerTrip)
+	if len(got) != 1 || got[0].Tick != 2 {
+		t.Fatalf("FilterEvents = %v", got)
+	}
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE preamble per family, cumulative
+// le-labelled buckets for histograms. Snapshots are name-sorted, so the
+// output is deterministic — the golden test relies on that.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, p := range s.Points {
+		if p.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, p.Help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch p.Kind {
+		case KindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", p.Name, p.Name, formatFloat(p.Value))
+		case KindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", p.Name, p.Name, formatFloat(p.Value))
+		case KindHistogram:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", p.Name); err != nil {
+				return err
+			}
+			var cum uint64
+			for i, b := range p.Buckets {
+				cum += b
+				le := "+Inf"
+				if i < len(p.Bounds) {
+					le = strconv.FormatInt(p.Bounds[i], 10)
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", p.Name, le, cum); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", p.Name, p.Sum, p.Name, p.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders whole numbers without an exponent or trailing
+// zeros ("42", not "4.2e+01"), which is what the text format wants for
+// counter totals.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

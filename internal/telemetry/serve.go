@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+)
+
+// Hub bundles the three telemetry surfaces a run threads through the
+// stack. Any field may be nil: the instrumented paths are nil-safe, so
+// a hub with only a journal (the chaos tests) or only a registry (the
+// serve endpoint) costs nothing extra.
+type Hub struct {
+	Reg     *Registry
+	Journal *Journal
+	Tracer  *Tracer
+}
+
+// NewHub builds a hub with a registry sharded for the current
+// GOMAXPROCS and a default-capacity journal; attach a Tracer separately
+// when spans are wanted (they allocate per sample, so they are opt-in).
+func NewHub() *Hub {
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 4 {
+		shards = 4
+	}
+	h := &Hub{Reg: NewRegistry(shards), Journal: NewJournal(0)}
+	up := h.Reg.Gauge("tse_up", "1 while the process is serving telemetry.")
+	up.Set(1)
+	h.Reg.GaugeFunc("tse_goroutines", "Live goroutines in the process.",
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	return h
+}
+
+// registry / journal unwrap a possibly-nil hub.
+func (h *Hub) registry() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.Reg
+}
+
+var expvarOnce sync.Once
+
+// Handler builds the exposition mux: Prometheus text format on
+// /metrics, the event journal as a timeline on /journal, expvar on
+// /debug/vars, and the standard pprof handlers under /debug/pprof/.
+func Handler(reg *Registry, j *Journal) http.Handler {
+	expvarOnce.Do(func() {
+		expvar.Publish("tse_metrics", expvar.Func(func() any {
+			if reg == nil {
+				return nil
+			}
+			s := reg.Snapshot()
+			m := make(map[string]float64, len(s.Points))
+			for _, p := range s.Points {
+				if p.Kind != KindHistogram {
+					m[p.Name] = p.Value
+				}
+			}
+			return m
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			WritePrometheus(w, reg.Snapshot())
+		}
+	})
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		RenderTimeline(w, j.Events())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "tse telemetry: /metrics /journal /debug/vars /debug/pprof/")
+	})
+	return mux
+}
+
+// Serve binds addr (":0" picks a free port) and serves the exposition
+// mux in a background goroutine. It returns the server and the bound
+// address; callers own Shutdown.
+func Serve(addr string, h *Hub) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	var j *Journal
+	if h != nil {
+		j = h.Journal
+	}
+	srv := &http.Server{Handler: Handler(h.registry(), j)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Span is one sampled upcall's flow-setup lifecycle in virtual-second
+// ticks, extending the PR 6 enqueue stamp to the full chain:
+//
+//	enqueue → admit → pop → install → publish
+//
+// Enqueue is when the miss was offered to the subsystem; Admit is when
+// it actually joined its queue (later than Enqueue only under injected
+// delivery delay); Pop is when a handler took it; Install and Publish
+// are when its burst's megaflows were written and the COW snapshot went
+// live (one publish per burst, so they coincide at burst granularity).
+// A stamp of -1 means the stage was never reached (shed, coalesced
+// away, or dropped).
+type Span struct {
+	ID      uint64
+	Port    int
+	Enqueue int64
+	Admit   int64
+	Pop     int64
+	Install int64
+	Publish int64
+}
+
+// Tracer samples every Nth admitted upcall into a bounded span table.
+// All methods are nil-receiver-safe so the instrumented path costs one
+// nil check when tracing is off.
+type Tracer struct {
+	every uint64
+	max   int
+	n     atomic.Uint64
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// NewTracer samples one of every `every` admissions, retaining at most
+// max spans (first-come: once full, later samples are dropped — the
+// interesting window in this repo's scenarios is the flood onset).
+func NewTracer(every, max int) *Tracer {
+	if every <= 0 {
+		every = 1
+	}
+	if max <= 0 {
+		max = 4096
+	}
+	return &Tracer{every: uint64(every), max: max}
+}
+
+// Sample decides whether this admission is traced. It returns a span
+// with all stamps -1 (caller fills them in) or nil when unsampled.
+func (t *Tracer) Sample(port int) *Span {
+	if t == nil {
+		return nil
+	}
+	n := t.n.Add(1)
+	if (n-1)%t.every != 0 {
+		return nil
+	}
+	sp := &Span{ID: n - 1, Port: port, Enqueue: -1, Admit: -1, Pop: -1, Install: -1, Publish: -1}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.max {
+		return nil
+	}
+	t.spans = append(t.spans, sp)
+	return sp
+}
+
+// Spans returns the sampled spans in admission order.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans...)
+}
+
+// Seen reports how many admissions passed through the sampler.
+func (t *Tracer) Seen() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.n.Load()
+}
+
+// chrome://tracing JSON ("Trace Event Format"): complete events
+// (ph "X") with microsecond timestamps. One virtual second maps to 1ms
+// of trace time so the viewer's zoom levels behave.
+const tickUS = 1000
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]int `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits spans in the Trace Event Format consumed by
+// chrome://tracing and Perfetto: per span a "queued" slice
+// (enqueue→pop) and a "service" slice (pop→publish), grouped by ingress
+// port (pid) with one lane per span (tid).
+func WriteChromeTrace(w io.Writer, spans []*Span) error {
+	events := make([]traceEvent, 0, 2*len(spans))
+	for _, sp := range spans {
+		if sp.Enqueue < 0 {
+			continue
+		}
+		args := map[string]int{
+			"enqueue_tick": int(sp.Enqueue), "admit_tick": int(sp.Admit),
+			"pop_tick": int(sp.Pop), "install_tick": int(sp.Install), "publish_tick": int(sp.Publish),
+		}
+		if sp.Pop >= 0 {
+			events = append(events, traceEvent{
+				Name: "queued", Ph: "X",
+				TS: sp.Enqueue * tickUS, Dur: (sp.Pop - sp.Enqueue) * tickUS,
+				PID: sp.Port, TID: sp.ID, Args: args,
+			})
+		}
+		if sp.Pop >= 0 && sp.Publish >= sp.Pop {
+			// Zero-duration service (handled within the tick) still gets a
+			// sliver so the slice is visible.
+			dur := (sp.Publish - sp.Pop) * tickUS
+			if dur == 0 {
+				dur = tickUS / 10
+			}
+			events = append(events, traceEvent{
+				Name: "service", Ph: "X",
+				TS: sp.Pop * tickUS, Dur: dur,
+				PID: sp.Port, TID: sp.ID, Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"displayTimeUnit": "ms",
+		"traceEvents":     events,
+	})
+}
+
+// WriteChromeTraceFile writes spans to path.
+func WriteChromeTraceFile(path string, spans []*Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestTracerSampling: 1/N sampling admits every Nth offer, honors the
+// span cap, and is inert on a nil tracer.
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(4, 3)
+	var sampled int
+	for i := 0; i < 16; i++ {
+		if sp := tr.Sample(1); sp != nil {
+			sampled++
+			if sp.Enqueue != -1 || sp.Pop != -1 {
+				t.Fatalf("fresh span not blank: %+v", sp)
+			}
+		}
+	}
+	if sampled != 3 { // 16/4 = 4 hits, capped at 3
+		t.Fatalf("sampled %d spans, want cap of 3", sampled)
+	}
+	if tr.Seen() != 16 {
+		t.Fatalf("Seen = %d, want 16", tr.Seen())
+	}
+	var nilTr *Tracer
+	if nilTr.Sample(0) != nil || nilTr.Spans() != nil || nilTr.Seen() != 0 {
+		t.Fatal("nil tracer not inert")
+	}
+}
+
+// TestWriteChromeTrace: the export is valid Trace Event Format — a
+// traceEvents array of "X" slices with µs timestamps — and spans that
+// never reached a handler are skipped.
+func TestWriteChromeTrace(t *testing.T) {
+	done := &Span{ID: 1, Port: 2, Enqueue: 5, Admit: 5, Pop: 7, Install: 7, Publish: 7}
+	shed := &Span{ID: 2, Port: 0, Enqueue: -1, Admit: -1, Pop: -1, Install: -1, Publish: -1}
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, []*Span{done, shed}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			PID  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want queued+service for the completed span: %s", len(doc.TraceEvents), b.String())
+	}
+	q := doc.TraceEvents[0]
+	if q.Name != "queued" || q.Ph != "X" || q.TS != 5*tickUS || q.Dur != 2*tickUS || q.PID != 2 {
+		t.Errorf("queued slice wrong: %+v", q)
+	}
+	s := doc.TraceEvents[1]
+	if s.Name != "service" || s.Dur == 0 {
+		t.Errorf("service slice wrong: %+v", s)
+	}
+}
+
+// TestServeEndpoint spins the real exposition server on a free port and
+// checks all three surfaces answer: Prometheus text on /metrics, expvar
+// JSON on /debug/vars, the pprof index, and the journal timeline.
+func TestServeEndpoint(t *testing.T) {
+	hub := NewHub()
+	hub.Reg.Counter("tse_upcall_enqueued_total", "x").Add(0, 9)
+	hub.Journal.Record(3, EvBreakerTrip, 1, 4)
+	srv, addr, err := Serve("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if m := get("/metrics"); !strings.Contains(m, "tse_up 1") || !strings.Contains(m, "tse_upcall_enqueued_total 9") {
+		t.Errorf("/metrics missing counters:\n%s", m)
+	}
+	if v := get("/debug/vars"); !strings.Contains(v, "tse_metrics") {
+		t.Errorf("/debug/vars missing tse_metrics:\n%s", v)
+	}
+	if p := get("/debug/pprof/"); !strings.Contains(p, "goroutine") {
+		t.Errorf("pprof index looks wrong:\n%s", p)
+	}
+	if j := get("/journal"); !strings.Contains(j, "breaker-trip") {
+		t.Errorf("/journal missing event:\n%s", j)
+	}
+}

@@ -17,7 +17,11 @@ package upcall
 // the TripAfter streak playing the hysteresis role so a single noisy
 // interval cannot flap the breaker.
 
-import "fmt"
+import (
+	"fmt"
+
+	"tse/internal/telemetry"
+)
 
 // BreakerPhase is the circuit-breaker state.
 type BreakerPhase int
@@ -216,12 +220,32 @@ func (u *Subsystem) TickBreakers(now int64) {
 		bp := &u.brk[src]
 		delta := u.srcStats[src].Residence.Delta(bp.prev)
 		bp.prev = u.srcStats[src].Residence
+		before := bp.st.Phase
 		tripped, closed := u.opts.Breaker.Next(&bp.st, now, delta.P99())
 		if tripped {
 			u.stats.BreakerTrips++
+			if u.tm != nil {
+				u.tm.breakerTrips.Inc(0)
+			}
 		}
 		if closed {
 			u.stats.BreakerCloses++
+			if u.tm != nil {
+				u.tm.breakerCloses.Inc(0)
+			}
+		}
+		// Journal every phase transition (trip, cooldown→half-open,
+		// half-open→re-open, close) with the p99 signal that drove it.
+		if bp.st.Phase != before {
+			p99 := delta.P99()
+			switch bp.st.Phase {
+			case BreakerOpen:
+				u.opts.Journal.Record(now, telemetry.EvBreakerTrip, src, p99)
+			case BreakerHalfOpen:
+				u.opts.Journal.Record(now, telemetry.EvBreakerHalfOpen, src, p99)
+			case BreakerClosed:
+				u.opts.Journal.Record(now, telemetry.EvBreakerClose, src, p99)
+			}
 		}
 	}
 }

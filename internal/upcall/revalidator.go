@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"tse/internal/faults"
+	"tse/internal/telemetry"
 	"tse/internal/tss"
 	"tse/internal/vswitch"
 )
@@ -207,6 +208,7 @@ type Revalidator struct {
 	timeout    int64
 	pendingAge int64
 	inj        *faults.Plan
+	journal    *telemetry.Journal
 
 	mu      sync.Mutex
 	lastRun int64
@@ -251,6 +253,14 @@ type RevalidatorConfig struct {
 	// Injector is the optional fault-injection schedule; a
 	// RevalidatorStall window suppresses Tick's sweeps entirely.
 	Injector *faults.Plan
+	// Journal, when non-nil, receives sweep / sweep-stall / quota-retune
+	// events (a retune is journalled only when a port's quota actually
+	// moves, so the de-flapped controller's timeline stays quiet).
+	Journal *telemetry.Journal
+	// Metrics, when non-nil, registers pull-model collectors over the
+	// revalidator counters — evaluated at snapshot time, never on the
+	// sweep path.
+	Metrics *telemetry.Registry
 }
 
 // RevalidatorStats aggregates revalidator activity.
@@ -309,9 +319,33 @@ func NewRevalidator(cfg RevalidatorConfig) (*Revalidator, error) {
 	case pendingAge == 0:
 		pendingAge = 3 * timeout
 	}
-	return &Revalidator{sw: cfg.Switch, sub: cfg.Subsystem, adapt: cfg.Adapt,
+	rv := &Revalidator{sw: cfg.Switch, sub: cfg.Subsystem, adapt: cfg.Adapt,
 		interval: cfg.IntervalSec, timeout: timeout,
-		pendingAge: pendingAge, inj: cfg.Injector}, nil
+		pendingAge: pendingAge, inj: cfg.Injector, journal: cfg.Journal}
+	if reg := cfg.Metrics; reg != nil {
+		stat := func(get func(RevalidatorStats) uint64) func() uint64 {
+			return func() uint64 { return get(rv.Stats()) }
+		}
+		reg.CounterFunc("tse_revalidator_sweeps_total",
+			"Revalidator dump-expire-revalidate passes.",
+			stat(func(s RevalidatorStats) uint64 { return s.Sweeps }))
+		reg.CounterFunc("tse_megaflow_expired_total",
+			"Megaflows expired at the idle horizon by revalidator sweeps.",
+			stat(func(s RevalidatorStats) uint64 { return s.Expired }))
+		reg.CounterFunc("tse_megaflow_invalidated_total",
+			"Megaflows deleted because the flow table no longer regenerates them.",
+			stat(func(s RevalidatorStats) uint64 { return s.Invalidated }))
+		reg.CounterFunc("tse_megaflow_suppressed_total",
+			"Megaflows deleted by monitor sweeps routed through the revalidator.",
+			stat(func(s RevalidatorStats) uint64 { return s.Suppressed }))
+		reg.CounterFunc("tse_revalidator_orphan_pressure_total",
+			"Dumped entries whose ingress port has no admission source to tune.",
+			stat(func(s RevalidatorStats) uint64 { return s.OrphanPressure }))
+		reg.CounterFunc("tse_revalidator_sweep_stalls_total",
+			"Sweeps suppressed by an injected revalidator stall.",
+			stat(func(s RevalidatorStats) uint64 { return s.SweepStalls }))
+	}
+	return rv, nil
 }
 
 // Tick runs a sweep at virtual time now if the cadence has elapsed,
@@ -329,6 +363,7 @@ func (r *Revalidator) Tick(now int64) vswitch.SweepResult {
 		r.mu.Lock()
 		r.stats.SweepStalls++
 		r.mu.Unlock()
+		r.journal.Record(now, telemetry.EvSweepStall, -1, 0)
 		return vswitch.SweepResult{}
 	}
 	r.mu.Lock()
@@ -403,7 +438,7 @@ func (r *Revalidator) Sweep(now int64) vswitch.SweepResult {
 		r.sw.MarkRevalidated(seq)
 	}
 	if r.adapt != nil {
-		r.retune(pressure)
+		r.retune(now, pressure)
 	}
 	// The sweep doubles as the pending-table janitor: entries orphaned by
 	// an unsupervised handler death (popped, never resolved, never
@@ -413,6 +448,11 @@ func (r *Revalidator) Sweep(now int64) vswitch.SweepResult {
 		r.sub.ReapPending(now, r.pendingAge)
 	}
 	r.record(res)
+	// A sweep that actually deleted something is a control-plane event: the
+	// cache shrank without the data path's involvement.
+	if n := res.Expired + res.Invalidated; n > 0 {
+		r.journal.Record(now, telemetry.EvSweep, -1, int64(n))
+	}
 	return res
 }
 
@@ -421,7 +461,7 @@ func (r *Revalidator) Sweep(now int64) vswitch.SweepResult {
 // resulting quotas. Pressure attributed to ports outside the subsystem's
 // source range cannot be tuned; it is surfaced via
 // RevalidatorStats.OrphanPressure instead of being silently dropped.
-func (r *Revalidator) retune(pressure map[int]int) {
+func (r *Revalidator) retune(now int64, pressure map[int]int) {
 	sources := r.sub.Sources()
 	per := r.sub.PerSource()
 	r.mu.Lock()
@@ -434,19 +474,30 @@ func (r *Revalidator) retune(pressure map[int]int) {
 			r.stats.OrphanPressure += uint64(n)
 		}
 	}
-	type tuned struct{ src, quota int }
+	type tuned struct {
+		src, quota int
+		moved      bool
+	}
 	quotas := make([]tuned, 0, sources)
 	for src := 0; src < sources; src++ {
 		// The residence signal is the mean flow-setup latency of the
 		// upcalls this port had handled since the last sweep.
 		delta := per[src].Residence.Delta(r.prevRes[src])
 		r.prevRes[src] = per[src].Residence
-		quotas = append(quotas, tuned{src, r.adapt.Next(&r.states[src], pressure[src], delta.Mean())})
+		seeded, prev := r.states[src].Seeded, r.states[src].Quota
+		q := r.adapt.Next(&r.states[src], pressure[src], delta.Mean())
+		// A retune is journalled only when an already-seeded quota actually
+		// moves: the first sweep's seeding of every port is setup, not news,
+		// and a de-flapped controller's timeline should stay quiet.
+		quotas = append(quotas, tuned{src, q, seeded && q != prev})
 	}
 	r.mu.Unlock()
 	// Apply outside r.mu: SetQuota takes the subsystem lock.
 	for _, t := range quotas {
 		r.sub.SetQuota(t.src, t.quota)
+		if t.moved {
+			r.journal.Record(now, telemetry.EvQuotaRetune, t.src, int64(t.quota))
+		}
 	}
 }
 

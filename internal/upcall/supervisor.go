@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tse/internal/telemetry"
 )
 
 // handlerRun is one spawn of one handler slot. A slot can be respawned
@@ -177,6 +179,7 @@ func (u *Subsystem) Stop() {
 		}
 		r.abandoned.Store(true)
 		u.stats.HandlersAbandoned++
+		u.opts.Journal.Record(u.clock, telemetry.EvHandlerAbandoned, r.slot, 0)
 		u.failOrphansLocked(u.inflight[r])
 		delete(u.inflight, r)
 	}
@@ -242,9 +245,17 @@ func (u *Subsystem) handlerLoop(r *handlerRun, wg *sync.WaitGroup) {
 			return
 		}
 		u.stats.HandlerPanics++
-		u.orphanLocked(owned)
+		if u.tm != nil {
+			u.tm.panics.Inc(0)
+		}
+		u.opts.Journal.Record(u.clock, telemetry.EvHandlerPanic, r.slot, int64(len(owned)))
+		u.orphanRecordedLocked(r.slot, owned)
 		if u.started && !u.stopped && !u.opts.DisableSupervisor {
 			u.stats.HandlerRestarts++
+			if u.tm != nil {
+				u.tm.restarts.Inc(0)
+			}
+			u.opts.Journal.Record(u.clock, telemetry.EvHandlerRestart, r.slot, 0)
 			u.runs[r.slot] = u.spawnLocked(r.slot)
 		}
 		u.mu.Unlock()
@@ -317,9 +328,17 @@ func (u *Subsystem) checkStalls(wallNow int64) {
 		}
 		r.abandoned.Store(true)
 		u.stats.StallsDetected++
-		u.orphanLocked(u.inflight[r])
+		if u.tm != nil {
+			u.tm.stalls.Inc(0)
+		}
+		u.opts.Journal.Record(u.clock, telemetry.EvHandlerStall, slot, 0)
+		u.orphanRecordedLocked(slot, u.inflight[r])
 		delete(u.inflight, r)
 		u.stats.HandlerRestarts++
+		if u.tm != nil {
+			u.tm.restarts.Inc(0)
+		}
+		u.opts.Journal.Record(u.clock, telemetry.EvHandlerRestart, slot, 0)
 		u.runs[slot] = u.spawnLocked(slot)
 	}
 }
@@ -330,11 +349,12 @@ func (u *Subsystem) checkStalls(wallNow int64) {
 // verdict under FailOrphans. Under DisableSupervisor they are dropped on
 // the floor — the deliberate pending-table wedge of the chaos ablation,
 // cleaned up only by ReapPending. Callers hold u.mu.
-func (u *Subsystem) orphanLocked(items []item) {
+func (u *Subsystem) orphanLocked(items []item) int {
 	if u.opts.FailOrphans {
 		u.failOrphansLocked(items)
-		return
+		return 0
 	}
+	n := 0
 	for _, it := range items {
 		if it.p == nil || it.p.resolved {
 			continue
@@ -345,6 +365,19 @@ func (u *Subsystem) orphanLocked(items []item) {
 		it.p.queued++
 		u.enqueueLocked(it)
 		u.stats.Requeued++
+		if u.tm != nil {
+			u.tm.requeued.Inc(0)
+		}
+		n++
+	}
+	return n
+}
+
+// orphanRecordedLocked is orphanLocked plus the journal entry for the
+// requeue burst (slot attributes the dead handler). Callers hold u.mu.
+func (u *Subsystem) orphanRecordedLocked(slot int, items []item) {
+	if n := u.orphanLocked(items); n > 0 {
+		u.opts.Journal.Record(u.clock, telemetry.EvOrphanRequeue, slot, int64(n))
 	}
 }
 
@@ -362,6 +395,9 @@ func (u *Subsystem) failOrphansLocked(items []item) {
 		it.p.verdict = orphanVerdict()
 		close(it.p.done)
 		u.stats.OrphanFailed++
+		if u.tm != nil {
+			u.tm.orphanFailed.Inc(0)
+		}
 	}
 }
 
@@ -412,11 +448,20 @@ func (u *Subsystem) driveFaultsLocked(max int, now int64) int {
 		}
 		if inj.HandlerPanicAt(slot, now) {
 			u.stats.HandlerPanics++
-			u.orphanLocked(u.popBurstLocked(nil, u.burstSize()))
+			if u.tm != nil {
+				u.tm.panics.Inc(0)
+			}
+			burst := u.popBurstLocked(nil, u.burstSize())
+			u.opts.Journal.Record(now, telemetry.EvHandlerPanic, slot, int64(len(burst)))
+			u.orphanRecordedLocked(slot, burst)
 			if u.opts.DisableSupervisor {
 				d.deadUntil = math.MaxInt64 // never respawned
 			} else {
 				u.stats.HandlerRestarts++
+				if u.tm != nil {
+					u.tm.restarts.Inc(0)
+				}
+				u.opts.Journal.Record(now, telemetry.EvHandlerRestart, slot, 0)
 				if now+1 > d.deadUntil {
 					d.deadUntil = now + 1 // back next tick
 				}
@@ -426,6 +471,12 @@ func (u *Subsystem) driveFaultsLocked(max int, now int64) int {
 			d.detectAt = 0
 			u.stats.StallsDetected++
 			u.stats.HandlerRestarts++
+			if u.tm != nil {
+				u.tm.stalls.Inc(0)
+				u.tm.restarts.Inc(0)
+			}
+			u.opts.Journal.Record(now, telemetry.EvHandlerStall, slot, 0)
+			u.opts.Journal.Record(now, telemetry.EvHandlerRestart, slot, 0)
 		}
 		if now >= d.deadUntil {
 			alive++

@@ -70,6 +70,7 @@ import (
 	"tse/internal/bitvec"
 	"tse/internal/faults"
 	"tse/internal/flowtable"
+	"tse/internal/telemetry"
 	"tse/internal/vswitch"
 )
 
@@ -135,6 +136,21 @@ type Options struct {
 	// case) injects nothing and costs one pointer comparison on the paths
 	// it guards.
 	Injector *faults.Plan
+	// Metrics, when non-nil, registers the subsystem's admission/service
+	// counters and the residence histogram with the registry. The
+	// increments ride the paths that already hold u.mu and are
+	// allocation-free (telemetry's AllocsPerRun assertions), so attaching
+	// a registry cannot move the hot-path gate.
+	Metrics *telemetry.Registry
+	// Journal, when non-nil, receives tick-stamped control-plane events:
+	// handler panics/stalls/restarts, orphan requeues, pending reaps, and
+	// breaker phase transitions. Nil costs one nil check per event site.
+	Journal *telemetry.Journal
+	// Tracer, when non-nil, samples every Nth admitted upcall into a
+	// flow-setup span (enqueue→admit→pop→install→publish ticks). Sampled
+	// spans allocate, so tracing is opt-in; a nil tracer costs one nil
+	// check per admission.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultHandlerBurst is the handler drain burst size, matching the
@@ -264,6 +280,9 @@ type item struct {
 	src int
 	key flowKey
 	p   *pendingFlow
+	// span is the sampled flow-setup trace record; nil for the (vast)
+	// unsampled majority.
+	span *telemetry.Span
 }
 
 // SourceStats is one source's (vport's) share of the admission counters.
@@ -345,6 +364,49 @@ type Subsystem struct {
 
 	// Per-source circuit breakers (breaker.go); nil when disabled.
 	brk []breakerPort
+
+	// tm holds the registered telemetry metrics; nil without a registry.
+	tm *subMetrics
+}
+
+// subMetrics are the subsystem's registered telemetry handles. All
+// increments happen under u.mu, so shard 0 is always correct and
+// uncontended.
+type subMetrics struct {
+	enqueued, coalesced, queueDrops, quotaDrops, shed *telemetry.Counter
+	handled, requeued, orphanFailed, reaped           *telemetry.Counter
+	panics, stalls, restarts                          *telemetry.Counter
+	breakerTrips, breakerCloses                       *telemetry.Counter
+	residence                                         *telemetry.Histogram
+}
+
+// registerMetrics builds the subsystem's metric set on reg. The names
+// shadow OVS coverage counters (upcall_*, handler_*) — see the README
+// catalog.
+func (u *Subsystem) registerMetrics(reg *telemetry.Registry) {
+	u.tm = &subMetrics{
+		enqueued:      reg.Counter("tse_upcall_enqueued_total", "Flow misses admitted to an upcall queue."),
+		coalesced:     reg.Counter("tse_upcall_coalesced_total", "Misses deduplicated onto an in-flight upcall of the same flow."),
+		queueDrops:    reg.Counter("tse_upcall_queue_drops_total", "Misses refused because the source queue was at capacity."),
+		quotaDrops:    reg.Counter("tse_upcall_quota_drops_total", "Misses refused by the per-source admission quota."),
+		shed:          reg.Counter("tse_upcall_breaker_shed_total", "Misses fast-failed by an open SLO circuit breaker."),
+		handled:       reg.Counter("tse_upcall_handled_total", "Upcalls resolved by a handler (one slow-path classification each)."),
+		requeued:      reg.Counter("tse_upcall_requeued_total", "Orphaned in-flight upcalls returned to their queues by the supervisor."),
+		orphanFailed:  reg.Counter("tse_upcall_orphan_failed_total", "Orphaned upcalls resolved with the error verdict."),
+		reaped:        reg.Counter("tse_upcall_pending_reaped_total", "Aged-out pending-table entries failed by the orphan reaper."),
+		panics:        reg.Counter("tse_handler_panics_total", "Handler deaths by panic."),
+		stalls:        reg.Counter("tse_handler_stalls_total", "Handlers declared stalled past the heartbeat deadline."),
+		restarts:      reg.Counter("tse_handler_restarts_total", "Handler slots respawned after a panic or stall."),
+		breakerTrips:  reg.Counter("tse_breaker_trips_total", "SLO circuit-breaker transitions to open."),
+		breakerCloses: reg.Counter("tse_breaker_closes_total", "SLO circuit-breaker recoveries from half-open to closed."),
+		residence: reg.Histogram("tse_upcall_residence_seconds",
+			"Virtual seconds an upcall sat queued between admission and handler pop.",
+			[]int64{0, 1, 2, 4, 8, 15}),
+	}
+	reg.GaugeFunc("tse_upcall_backlog", "Total queued upcalls right now.",
+		func() int64 { return int64(u.Stats().Backlog) })
+	reg.GaugeFunc("tse_upcall_pending_flows", "Pending-table entries (in-flight deduplicated flows).",
+		func() int64 { return int64(u.Stats().PendingFlows) })
 }
 
 // limboItem is one fault-delayed upcall: admitted (quota and queue checks
@@ -382,6 +444,9 @@ func New(sw *vswitch.Switch, sources int, opts Options) (*Subsystem, error) {
 	}
 	if opts.Breaker.SLOSec > 0 {
 		u.brk = make([]breakerPort, sources)
+	}
+	if opts.Metrics != nil {
+		u.registerMetrics(opts.Metrics)
 	}
 	return u, nil
 }
@@ -450,6 +515,9 @@ func (u *Subsystem) Submit(src int, h bitvec.Vec, now int64) (Ticket, Outcome) {
 		if p, ok := u.pending[key]; ok {
 			u.stats.Deduped++
 			u.srcStats[src].Deduped++
+			if u.tm != nil {
+				u.tm.coalesced.Inc(0)
+			}
 			return Ticket{p}, Coalesced
 		}
 	}
@@ -459,6 +527,9 @@ func (u *Subsystem) Submit(src int, h bitvec.Vec, now int64) (Ticket, Outcome) {
 	if u.brk != nil && !u.breakerAdmitLocked(src, now) {
 		u.stats.BreakerShed++
 		u.srcStats[src].BreakerShed++
+		if u.tm != nil {
+			u.tm.shed.Inc(0)
+		}
 		return Ticket{}, DroppedBreaker
 	}
 	// Queue bound before quota: a miss refused for lack of queue space
@@ -468,6 +539,9 @@ func (u *Subsystem) Submit(src int, h bitvec.Vec, now int64) (Ticket, Outcome) {
 	if u.opts.QueueCap > 0 && len(u.queues[src])-u.heads[src] >= u.opts.QueueCap {
 		u.stats.QueueDrops++
 		u.srcStats[src].QueueDrops++
+		if u.tm != nil {
+			u.tm.queueDrops.Inc(0)
+		}
 		return Ticket{}, DroppedQueueFull
 	}
 	if q := u.quotaForLocked(src); q > 0 {
@@ -478,6 +552,9 @@ func (u *Subsystem) Submit(src int, h bitvec.Vec, now int64) (Ticket, Outcome) {
 		if u.tokens[src] == 0 {
 			u.stats.QuotaDrops++
 			u.srcStats[src].QuotaDrops++
+			if u.tm != nil {
+				u.tm.quotaDrops.Inc(0)
+			}
 			return Ticket{}, DroppedQuota
 		}
 		u.tokens[src]--
@@ -489,6 +566,13 @@ func (u *Subsystem) Submit(src int, h bitvec.Vec, now int64) (Ticket, Outcome) {
 	// Clone: the caller's header buffer may be reused before a handler
 	// gets to the upcall.
 	it := item{h: h.Clone(), now: now, src: src, key: key, p: p}
+	if sp := u.opts.Tracer.Sample(src); sp != nil {
+		sp.Enqueue = now
+		it.span = sp
+	}
+	if u.tm != nil {
+		u.tm.enqueued.Inc(0)
+	}
 	if u.opts.Injector != nil {
 		if d := u.opts.Injector.DeliverDelayAt(src, now); d > 0 {
 			// Delivery fault: admitted, but held in limbo until readyAt.
@@ -519,6 +603,11 @@ func (u *Subsystem) Submit(src int, h bitvec.Vec, now int64) (Ticket, Outcome) {
 // handler. Callers hold u.mu and account Enqueued themselves (requeued
 // orphans and fault duplicates are not new admissions).
 func (u *Subsystem) enqueueLocked(it item) {
+	if it.span != nil && it.span.Admit < 0 {
+		// First time the upcall becomes visible to handlers (later than
+		// the enqueue stamp only under injected delivery delay).
+		it.span.Admit = u.clock
+	}
 	u.queues[it.src] = append(u.queues[it.src], it)
 	u.depth++
 	if u.depth > u.stats.MaxBacklog {
@@ -744,6 +833,16 @@ func (u *Subsystem) resolve(it item, v vswitch.Verdict) {
 		delete(u.pending, it.key)
 	}
 	u.stats.Handled++
+	if u.tm != nil {
+		u.tm.handled.Inc(0)
+	}
+	if it.span != nil {
+		// The burst's megaflows were installed and its one COW snapshot
+		// published just before resolution, so at burst granularity both
+		// stamps are the resolve tick.
+		it.span.Install = u.clock
+		it.span.Publish = u.clock
+	}
 	u.mu.Unlock()
 	it.p.verdict = v
 	close(it.p.done)
@@ -790,7 +889,13 @@ func (u *Subsystem) ReapPending(now, age int64) int {
 		p.verdict = orphanVerdict()
 		close(p.done)
 		u.stats.PendingReaped++
+		if u.tm != nil {
+			u.tm.reaped.Inc(0)
+		}
 		n++
+	}
+	if n > 0 {
+		u.opts.Journal.Record(now, telemetry.EvPendingReaped, -1, int64(n))
 	}
 	return n
 }
@@ -843,6 +948,12 @@ func (u *Subsystem) popLocked(src int) (item, bool) {
 		res := u.clock - it.now
 		u.srcStats[src].Residence.Observe(res)
 		u.stats.Residence.Observe(res)
+		if u.tm != nil {
+			u.tm.residence.Observe(0, res)
+		}
+		if it.span != nil {
+			it.span.Pop = u.clock
+		}
 	}
 	switch {
 	case h == len(q):
