@@ -6,16 +6,20 @@
 //	tsebench -fig fig9a      # regenerate one table/figure
 //	tsebench -fig chaos      # fault-injection run: unsupervised wedge vs
 //	                         # supervised self-healing under the flood
+//	tsebench -fig fleetchaos # 4-node fleet: blast-radius containment under
+//	                         # node death, controller partition, push errors
 //	tsebench -fig all        # regenerate everything (takes ~1 min)
 //	tsebench -workers 6      # PMD datapath scaling table for 1 vs 6 cores
 //	tsebench -json BENCH.json  # write the perf suite as JSON (schema
-//	                         # tse-bench/v6: hot-path benches + scenario
+//	                         # tse-bench/v7: hot-path benches + scenario
 //	                         # rows incl. handler_restarts, breaker_trips,
-//	                         # recovery_sec and per-scenario metrics)
+//	                         # recovery_sec and the FleetChaos-* fleet rows
+//	                         # with blast_radius_frac / failover_sec /
+//	                         # acl_convergence_sec)
 //	tsebench -compare OLD.json NEW.json  # CI regression gate over two
 //	                         # committed BENCH files (>2x slowdown of the
 //	                         # mask-scan/victim-lookup families fails)
-//	tsebench -compare BENCH_pr2.json ... BENCH_pr8.json  # >2 files:
+//	tsebench -compare BENCH_pr2.json ... BENCH_pr9.json  # >2 files:
 //	                         # trajectory mode, per-family sparkline across
 //	                         # the whole committed series (informational)
 //	tsebench -serve :8080 -fig all  # live telemetry while the figures run:

@@ -209,6 +209,22 @@ var (
 		Field{Name: "tp_dst", Width: 16},
 	)
 
+	// IPv4TuplePort prepends the ingress vport to the IPv4 5-tuple,
+	// mirroring the OVS flow key, where in_port is part of every match:
+	// per-port ACLs become expressible, and two tss entries identical but
+	// for in_port are distinct flows. The field classifies into the
+	// metadata stage and sits at the head of the first word, so a staged
+	// probe that fails on the leading (port-bearing) word bails before
+	// the L4 word. 120 bits.
+	IPv4TuplePort = MustLayout(
+		Field{Name: "in_port", Width: 16},
+		Field{Name: "ip_src", Width: 32},
+		Field{Name: "ip_dst", Width: 32},
+		Field{Name: "ip_proto", Width: 8},
+		Field{Name: "tp_src", Width: 16},
+		Field{Name: "tp_dst", Width: 16},
+	)
+
 	// IPv6Tuple is the IPv6 equivalent (§5.4). 296 bits.
 	IPv6Tuple = MustLayout(
 		Field{Name: "ip6_src", Width: 128},

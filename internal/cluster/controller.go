@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"math"
+
+	"tse/internal/telemetry"
+)
+
+// pushState tracks the controller's delivery attempt for one node within
+// the current generation.
+type pushState struct {
+	// nextTry is the earliest tick the controller offers the node the
+	// target generation (stagger, then retry backoff).
+	nextTry int64
+	// attempt counts failed deliveries of the current generation.
+	attempt int
+}
+
+// controller is the fabric's fault-tolerant control plane: it owns the
+// target ACL generation, pushes it to every node with staggered delivery,
+// retries failed pushes with exponential backoff, and tracks when the
+// fleet converges on a generation.
+//
+// The failure containment contract: a push that cannot reach a node (the
+// node is partitioned, or the push itself errors) affects that node only —
+// the node keeps forwarding on its last-applied generation and the fabric
+// reports the staleness gap; every other node converges on schedule.
+type controller struct {
+	f *Fabric
+	// target is the generation every node should be serving; churned is
+	// the table-variant parity of that generation.
+	target  uint64
+	churned bool
+	churnAt int64
+	push    []pushState
+	// converged flips when every non-dead node reaches target;
+	// generations superseded before converging simply never do.
+	converged      bool
+	everConverged  bool
+	maxConvergeSec int64
+}
+
+// churn starts a new generation: bump the target, flip the table-variant
+// parity, and schedule each node's first push StaggerSec apart so the
+// fleet's revalidators never invalidate every megaflow cache in the same
+// tick.
+func (c *controller) churn(now int64) {
+	c.target++
+	c.churned = !c.churned
+	c.churnAt = now
+	c.converged = false
+	stagger := c.f.cfg.StaggerSec
+	if stagger < 0 {
+		stagger = 0
+	}
+	for i := range c.push {
+		c.push[i] = pushState{nextTry: now + int64(i)*stagger}
+	}
+}
+
+// tick performs due pushes and convergence accounting for one virtual
+// second. The controller always pushes the *latest* generation: a node
+// that was unreachable across several churns jumps straight to the head.
+func (c *controller) tick(now int64) {
+	if c.target == 0 {
+		return
+	}
+	for i, n := range c.f.nodes {
+		if !n.alive || n.appliedGen == c.target {
+			continue
+		}
+		ps := &c.push[i]
+		if now < ps.nextTry {
+			continue
+		}
+		// A partitioned node is unreachable; an ACL push error fails the
+		// delivery even on a healthy link. Either way: journal, back off,
+		// retry — unless the retry ablation is on, in which case the node
+		// stays stale until the next generation reschedules it.
+		if c.f.cfg.FleetFaults.NodePartitionedAt(i, now) || c.f.cfg.FleetFaults.ACLPushErrorAt(i, now) {
+			ps.attempt++
+			c.f.journal.Record(now, telemetry.EvACLPushRetry, i, int64(ps.attempt))
+			if c.f.cfg.DisableRetry {
+				ps.nextTry = math.MaxInt64
+				continue
+			}
+			backoff := c.f.cfg.PushBackoffSec << (ps.attempt - 1)
+			if backoff > c.f.cfg.MaxBackoffSec || backoff <= 0 {
+				backoff = c.f.cfg.MaxBackoffSec
+			}
+			ps.nextTry = now + backoff
+			continue
+		}
+		if err := n.applyGen(c.target, c.churned); err != nil {
+			c.f.err = err
+			return
+		}
+		ps.attempt = 0
+		c.f.journal.Record(now, telemetry.EvACLPush, i, int64(c.target))
+	}
+	if !c.converged {
+		all := true
+		for _, n := range c.f.nodes {
+			if n.alive && n.appliedGen != c.target {
+				all = false
+				break
+			}
+		}
+		if all {
+			c.converged = true
+			c.everConverged = true
+			if d := now - c.churnAt; d > c.maxConvergeSec {
+				c.maxConvergeSec = d
+			}
+			// Fleet-wide event: actor -1 (no single node).
+			c.f.journal.Record(now, telemetry.EvACLConverged, -1, int64(c.target))
+		}
+	}
+}

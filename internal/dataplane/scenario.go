@@ -26,8 +26,9 @@ type Victim struct {
 	Header bitvec.Vec
 	// Port is the ingress vport the flow arrives on. Asynchronous runs
 	// key upcall queues and admission quotas on it (a victim on its own
-	// vport never shares a bucket with the flood); the synchronous
-	// runners, which have no admission layer, ignore it.
+	// vport never shares a bucket with the flood); once any victim or
+	// phase names a port, the multi-core synchronous runner pins flows to
+	// workers by port too (rxq-to-PMD assignment) instead of by RSS hash.
 	Port int
 	// OfferedGbps is the offered load (iperf full rate).
 	OfferedGbps float64
@@ -236,16 +237,22 @@ func (sc *Scenario) Run() ([]Sample, error) {
 }
 
 // runMulticore executes the scenario over a PMD-style worker pool: attack
-// and victim packets shard to workers by RSS hash, each worker has its own
-// per-core CPU budget, and the samples carry per-worker series. The pool's
+// and victim packets shard to workers by RSS hash — or, when the traffic
+// mix names ingress vports, by port (rxq-to-PMD assignment, matching the
+// async runner) — each worker has its own per-core CPU budget, and the
+// samples carry per-worker series. The pool's
 // per-worker EMCs are disabled: the simulator prices each victim flow from
 // one probe packet per second, which with an EMC in front would always be
 // an exact-match hit and never observe the megaflow scan cost the attack
 // inflates (the same reason the Fig. 8 scenarios disable the switch-level
 // microflow cache).
 func (sc *Scenario) runMulticore(perCore float64) ([]Sample, error) {
-	pool, err := datapath.New(datapath.Config{
-		Switch: sc.Switch, Workers: sc.Workers, DisableEMC: true})
+	usePorts := sc.portCount() > 1
+	cfg := datapath.Config{Switch: sc.Switch, Workers: sc.Workers, DisableEMC: true}
+	if usePorts {
+		cfg.Ports = sc.portCount()
+	}
+	pool, err := datapath.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -253,6 +260,7 @@ func (sc *Scenario) runMulticore(perCore float64) ([]Sample, error) {
 	cursor := make([]int, len(sc.Phases))
 	samples := make([]Sample, 0, sc.DurationSec)
 	var batch []bitvec.Vec
+	var ports []int
 	var verdicts []vswitch.Verdict
 	for t := 0; t < sc.DurationSec; t++ {
 		now := int64(t)
@@ -278,11 +286,17 @@ func (sc *Scenario) runMulticore(perCore float64) ([]Sample, error) {
 				continue
 			}
 			batch = batch[:0]
+			ports = ports[:0]
 			for k := 0; k < ph.RatePps; k++ {
 				batch = append(batch, tr.Headers[cursor[i]%tr.Len()])
+				ports = append(ports, ph.Port)
 				cursor[i]++
 			}
-			verdicts = pool.ProcessBatchSerial(batch, now, verdicts)
+			if usePorts {
+				verdicts = pool.ProcessBatchSerialPorts(ports, batch, now, verdicts)
+			} else {
+				verdicts = pool.ProcessBatchSerial(batch, now, verdicts)
+			}
 			assign := pool.Assignments()
 			for k, v := range verdicts[:len(batch)] {
 				workerAttack[assign[k]] += verdictCost(v, sc.NIC)
@@ -294,7 +308,11 @@ func (sc *Scenario) runMulticore(perCore float64) ([]Sample, error) {
 		offered := make([]float64, len(sc.Victims))
 		workerOf := make([]int, len(sc.Victims))
 		for i, v := range sc.Victims {
-			workerOf[i] = pool.WorkerFor(v.Header)
+			if usePorts {
+				workerOf[i] = pool.PortWorker(v.Port)
+			} else {
+				workerOf[i] = pool.WorkerFor(v.Header)
+			}
 			if t < v.StartSec {
 				continue
 			}
@@ -376,6 +394,32 @@ func (sc *Scenario) replay(ph *AttackPhase, cursor *int, now int64, nic NICProfi
 		cost += verdictCost(sc.Switch.Process(h, now), nic)
 	}
 	return cost
+}
+
+// VerdictCost prices one attack packet by the cache layer that decided it
+// — the per-packet cost model the cluster fabric's per-node tick loop
+// shares with the scenario runners.
+func VerdictCost(v vswitch.Verdict, nic NICProfile) float64 {
+	return verdictCost(v, nic)
+}
+
+// VictimCost prices one benign packet from its probe verdict: the coalesced
+// per-packet classification cost without the Fig. 8b establishment blend
+// (which is per-Victim state the fleet does not model).
+func VictimCost(v vswitch.Verdict, nic NICProfile) float64 {
+	cost := (nic.BaseCost + nic.ProbeCost*float64(v.Probes)) / nic.Coalesce
+	if v.Path == vswitch.PathSlow {
+		cost += nic.SlowPathCost / nic.Coalesce
+	}
+	return cost
+}
+
+// WaterfillWorkers is the exported multi-core allocation step: the
+// per-core budget waterfill over each worker's victims followed by one
+// global pass for the shared line rate. The cluster fabric runs it per
+// node with that node's worker count and attack-cost vector.
+func WaterfillWorkers(nw int, workerOf []int, offered, costs, workerAttack []float64, perCore, linePps float64) []float64 {
+	return waterfillWorkers(nw, workerOf, offered, costs, workerAttack, perCore, linePps)
 }
 
 // verdictCost prices one attack packet by the cache layer that decided it.

@@ -416,16 +416,16 @@ func (sc *Scenario) runAsync(perCore float64) ([]Sample, error) {
 		// against the previous sample's snapshot.
 		resDelta := st.Residence.Delta(prevStats.Residence)
 		usample := &UpcallSample{
-			Enqueued:       int(st.Enqueued - prevStats.Enqueued),
-			Deduped:        int(st.Deduped - prevStats.Deduped),
-			QueueDrops:     int(st.QueueDrops - prevStats.QueueDrops),
-			QuotaDrops:     int(st.QuotaDrops - prevStats.QuotaDrops),
-			Handled:        handled,
-			Installed:      int(installs - prevInstalls),
-			Backlog:        st.Backlog,
-			Expired:        rvRes.Expired,
-			Invalidated:    rvRes.Invalidated,
-			HandlerCost:    float64(handled) * sc.NIC.SlowPathCost,
+			Enqueued:         int(st.Enqueued - prevStats.Enqueued),
+			Deduped:          int(st.Deduped - prevStats.Deduped),
+			QueueDrops:       int(st.QueueDrops - prevStats.QueueDrops),
+			QuotaDrops:       int(st.QuotaDrops - prevStats.QuotaDrops),
+			Handled:          handled,
+			Installed:        int(installs - prevInstalls),
+			Backlog:          st.Backlog,
+			Expired:          rvRes.Expired,
+			Invalidated:      rvRes.Invalidated,
+			HandlerCost:      float64(handled) * sc.NIC.SlowPathCost,
 			PortQuota:        make([]int, len(per)),
 			PortQuotaDrops:   make([]int, len(per)),
 			FlowSetupP50:     int(resDelta.P50()),

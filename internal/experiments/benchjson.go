@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tse/internal/bitvec"
+	"tse/internal/cluster"
 	"tse/internal/core"
 	"tse/internal/datapath"
 	"tse/internal/dataplane"
@@ -37,8 +38,11 @@ import (
 // now watches), runs the upcall micro-benchmarks with a live metrics
 // registry attached — the gate measures the instrumented path, not the
 // nil-hub fast path — and exports each scenario's end-of-run telemetry
-// snapshot in the metrics field.
-const BenchSchema = "tse-bench/v6"
+// snapshot in the metrics field; v7 adds the FleetChaos-* scenario rows
+// (the N-node cluster fabric under node death, controller partition and
+// push failures) and their containment fields (blast_radius_frac,
+// failover_sec, acl_convergence_sec — -1/-1 on single-box rows).
+const BenchSchema = "tse-bench/v7"
 
 // BenchResult is one measured micro-benchmark in the JSON report.
 type BenchResult struct {
@@ -98,6 +102,15 @@ type ScenarioResult struct {
 	HandlerRestarts int `json:"handler_restarts"`
 	BreakerTrips    int `json:"breaker_trips"`
 	RecoverySec     int `json:"recovery_sec"`
+	// Fleet containment metrics, meaningful on FleetChaos-* rows only:
+	// the fraction of fleet victims degraded through the fault window,
+	// the dead node's tenants' service gap in seconds (-1 = never
+	// recovered / no failover), and the worst fabric-wide ACL
+	// convergence of any generation that converged (-1 = none).
+	// Single-box scenario rows carry 0/-1/-1.
+	BlastRadiusFrac   float64 `json:"blast_radius_frac"`
+	FailoverSec       int     `json:"failover_sec"`
+	ACLConvergenceSec int     `json:"acl_convergence_sec"`
 	// WallMs is the host wall-clock time of the run (informational; the
 	// scenario itself is virtual-time deterministic).
 	WallMs float64 `json:"wall_ms"`
@@ -539,25 +552,27 @@ func BenchJSON() (*BenchReport, error) {
 			metrics[p.Name] = p.Value
 		}
 		rep.Scenarios = append(rep.Scenarios, ScenarioResult{
-			Name:            sc.Name,
-			Workers:         sc.Workers,
-			PeakMasks:       s.PeakMasks,
-			PeakBacklog:     s.PeakBacklog,
-			Enqueued:        s.Enqueued,
-			Deduped:         s.Deduped,
-			QueueDrops:      s.QueueDrops,
-			QuotaDrops:      s.QuotaDrops,
-			Handled:         s.Handled,
-			VictimPreGbps:   s.PreGbps,
-			VictimUnderGbps: s.UnderGbps,
-			VictimPostGbps:  s.PostGbps,
-			FctP50UnderSec:  s.FctP50Under,
-			FctP99UnderSec:  s.FctP99Under,
-			HandlerRestarts: restarts,
-			BreakerTrips:    trips,
-			RecoverySec:     recovery,
-			WallMs:          float64(wall.Nanoseconds()) / 1e6,
-			Metrics:         metrics,
+			Name:              sc.Name,
+			Workers:           sc.Workers,
+			FailoverSec:       -1,
+			ACLConvergenceSec: -1,
+			PeakMasks:         s.PeakMasks,
+			PeakBacklog:       s.PeakBacklog,
+			Enqueued:          s.Enqueued,
+			Deduped:           s.Deduped,
+			QueueDrops:        s.QueueDrops,
+			QuotaDrops:        s.QuotaDrops,
+			Handled:           s.Handled,
+			VictimPreGbps:     s.PreGbps,
+			VictimUnderGbps:   s.UnderGbps,
+			VictimPostGbps:    s.PostGbps,
+			FctP50UnderSec:    s.FctP50Under,
+			FctP99UnderSec:    s.FctP99Under,
+			HandlerRestarts:   restarts,
+			BreakerTrips:      trips,
+			RecoverySec:       recovery,
+			WallMs:            float64(wall.Nanoseconds()) / 1e6,
+			Metrics:           metrics,
 		})
 		return nil
 	}
@@ -606,6 +621,61 @@ func BenchJSON() (*BenchReport, error) {
 		if err := runScenario(sc); err != nil {
 			return nil, err
 		}
+	}
+
+	// The fleet suite: the cluster fabric under the fleetchaos fault
+	// burst. The unsupervised row pins the uncontained blast radius in
+	// the trajectory; the supervised row's failover_sec is the
+	// detection-plus-recovery bound the CI fleet smoke asserts.
+	for _, mode := range []cluster.FleetMode{
+		cluster.FleetUnsupervised,
+		cluster.FleetSupervised,
+	} {
+		cfg, err := cluster.FleetChaosConfig(mode, nil)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		_, res, err := cluster.RunFleetChaos(mode, nil)
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		row := ScenarioResult{
+			Name:              "FleetChaos-" + string(mode),
+			Workers:           cfg.Nodes * cfg.WorkersPerNode,
+			BlastRadiusFrac:   res.BlastRadiusFrac,
+			FailoverSec:       int(res.FailoverSec),
+			ACLConvergenceSec: int(res.ACLConvergenceSec),
+			RecoverySec:       int(res.FailoverSec),
+			FctP50UnderSec:    -1,
+			FctP99UnderSec:    -1,
+			WallMs:            float64(wall.Nanoseconds()) / 1e6,
+		}
+		pre, under := 0.0, 0.0
+		for i, w := range cfg.Workloads {
+			if w.Attacker {
+				continue
+			}
+			pre += res.PreFault[i]
+			under += res.FaultWin[i]
+		}
+		row.VictimPreGbps, row.VictimUnderGbps = pre, under
+		for _, s := range res.Samples {
+			for _, ns := range s.Nodes {
+				if ns.Masks > row.PeakMasks {
+					row.PeakMasks = ns.Masks
+				}
+				if ns.Backlog > row.PeakBacklog {
+					row.PeakBacklog = ns.Backlog
+				}
+				row.Enqueued += ns.Enqueued
+				row.QueueDrops += ns.QueueDrops
+				row.QuotaDrops += ns.QuotaDrops
+				row.Handled += ns.Handled
+			}
+		}
+		rep.Scenarios = append(rep.Scenarios, row)
 	}
 	return rep, nil
 }

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tse/internal/cluster"
+	"tse/internal/telemetry"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fleetchaos",
+		Title: "Fleet chaos — N-node fabric: blast-radius containment under node death, partition and push failures at attack peak",
+		Run:   RunFleetChaos,
+	})
+}
+
+// runFleetMode runs one fleet variant against the shared journal idiom:
+// mark the sequence, run, slice the fleet's events back out.
+func runFleetMode(mode cluster.FleetMode) (*cluster.FleetChaosResult, []telemetry.Event, error) {
+	hub := runHub()
+	mark := hub.Journal.Seq()
+	_, res, err := cluster.RunFleetChaos(mode, hub.Journal)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, hub.Journal.EventsSince(mark), nil
+}
+
+// RunFleetChaos scales the chaos story out to the fleet: a 4-node fabric
+// with a co-located TSE attacker pinned to node 0, policy churn rolling
+// fabric-wide every 5 s, and — at attack peak — one node crashed, one
+// partitioned from the controller, one with failing ACL pushes, plus
+// node-local handler/revalidator faults. Three configurations: fault-free
+// baseline, unsupervised ablation (no failover, no retry, no slow-path
+// supervision), and the full fault-tolerant control plane.
+func RunFleetChaos(w io.Writer) error {
+	fmt.Fprintf(w, "%-14s %7s %9s %9s %9s %8s %8s %8s\n",
+		"fleet mode", "blast", "failover", "acl-conv", "deaths", "moves", "retries", "leaked")
+	var supEvents []telemetry.Event
+	var supRes *cluster.FleetChaosResult
+	for _, mode := range []cluster.FleetMode{
+		cluster.FleetFaultFree,
+		cluster.FleetUnsupervised,
+		cluster.FleetSupervised,
+	} {
+		res, events, err := runFleetMode(mode)
+		if err != nil {
+			return err
+		}
+		if mode == cluster.FleetSupervised {
+			supEvents, supRes = events, res
+		}
+		deaths, moves, retries := 0, 0, 0
+		for _, e := range events {
+			switch e.Kind {
+			case telemetry.EvNodeDead:
+				deaths++
+			case telemetry.EvTenantFailover:
+				moves++
+			case telemetry.EvACLPushRetry:
+				retries++
+			}
+		}
+		leaked := 0
+		if n := len(res.Samples); n > 0 {
+			for _, ns := range res.Samples[n-1].Nodes {
+				leaked += ns.PendingFlows
+			}
+		}
+		fo, conv := "-", "-"
+		if res.FailoverSec >= 0 {
+			fo = fmt.Sprintf("%ds", res.FailoverSec)
+		}
+		if res.ACLConvergenceSec >= 0 {
+			conv = fmt.Sprintf("%ds", res.ACLConvergenceSec)
+		}
+		fmt.Fprintf(w, "%-14s %6.0f%% %9s %9s %9d %8d %8d %8d\n",
+			res.Mode, 100*res.BlastRadiusFrac, fo, conv, deaths, moves, retries, leaked)
+	}
+
+	fmt.Fprintln(w, "\nThe fault burst lands at attack peak: node 1 crashes at t=23, node 2")
+	fmt.Fprintln(w, "is partitioned from the controller for 4 s, ACL pushes to node 3 fail")
+	fmt.Fprintln(w, "for 2 s, node 3's revalidator wedges, and a handler panics on the")
+	fmt.Fprintln(w, "attacked node. Fault-free, the blast radius is already 25%: the two")
+	fmt.Fprintln(w, "victims sharing node 0 with the attacker pay the TSE tax — that is the")
+	fmt.Fprintln(w, "paper's attack, and no controller can repeal it. Unsupervised, the")
+	fmt.Fprintln(w, "crash doubles the radius: the dead node's tenants go dark for good,")
+	fmt.Fprintln(w, "the failed push is never retried, and the attacked node leaks pending")
+	fmt.Fprintln(w, "upcalls past the end of the run. Supervised, the heartbeat detector")
+	fmt.Fprintln(w, "declares the node dead after 5 missed beats, its tenants fail over to")
+	fmt.Fprintln(w, "the least-loaded survivors (re-admitted through a warming quota), the")
+	fmt.Fprintln(w, "partitioned node keeps forwarding on its last-known generation and")
+	fmt.Fprintln(w, "reports staleness instead of stalling, and pushes retry with backoff —")
+	fmt.Fprintln(w, "the radius stays at the fault-free 25% and the only casualties of the")
+	fmt.Fprintln(w, "crash are its own tenants' few seconds of detection gap.")
+
+	if supRes != nil {
+		fmt.Fprintf(w, "\nsupervised containment: death=t%d, failover gap %ds, worst ACL convergence %ds\n",
+			supRes.DeathSec, supRes.FailoverSec, supRes.ACLConvergenceSec)
+	}
+	fmt.Fprintln(w, "\ncausal timeline — supervised run (fleet control-plane journal):")
+	telemetry.RenderTimeline(w, telemetry.FilterEvents(supEvents,
+		telemetry.EvFaultInjected,
+		telemetry.EvNodeSuspect, telemetry.EvNodeDead, telemetry.EvNodeRejoin,
+		telemetry.EvNodeStale, telemetry.EvTenantFailover,
+		telemetry.EvACLPushRetry, telemetry.EvACLConverged))
+	return nil
+}

@@ -62,6 +62,20 @@ const (
 	// twice (at-least-once delivery); the second copy resolves as a no-op
 	// but costs queue space and handler budget.
 	DeliverDuplicate
+	// NodeCrash kills one cluster node: its dataplane stops serving, its
+	// tenants go dark until the failure detector declares it dead and the
+	// scheduler fails them over. Consumed once, like HandlerPanic.
+	NodeCrash
+	// NodePartition cuts the controller↔node control channel for the
+	// event window: heartbeats are lost and ACL pushes fail, but the
+	// node's dataplane keeps forwarding on its last-applied ACL
+	// generation (the graceful-degradation path).
+	NodePartition
+	// ACLPushError fails every controller ACL push attempted against the
+	// targeted node during the event window (a flaky management channel
+	// rather than a full partition) — the fault the controller's
+	// retry/backoff loop exists for.
+	ACLPushError
 )
 
 // String names the kind for diagnostics.
@@ -79,6 +93,12 @@ func (k Kind) String() string {
 		return "deliver-delay"
 	case DeliverDuplicate:
 		return "deliver-duplicate"
+	case NodeCrash:
+		return "node-crash"
+	case NodePartition:
+		return "node-partition"
+	case ACLPushError:
+		return "acl-push-error"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -101,6 +121,11 @@ type Event struct {
 	// Source targets one upcall source for the delivery faults; negative
 	// matches every source.
 	Source int
+	// Node targets one cluster node for the node-level kinds
+	// (NodeCrash/NodePartition/ACLPushError); negative matches every
+	// node. Ignored by the single-box kinds, whose constructors leave it
+	// zero.
+	Node int
 	// Duration is the fault length in ticks: the stall/window length for
 	// HandlerStall/RevalidatorStall/InstallError (0 means one tick,
 	// Forever means until released/replaced) and the delay amount for
@@ -210,6 +235,11 @@ func matchesHandler(e Event, handler int) bool {
 // matchesSource reports whether the event targets the given source.
 func matchesSource(e Event, src int) bool {
 	return e.Source < 0 || e.Source == src
+}
+
+// matchesNode reports whether the event targets the given node.
+func matchesNode(e Event, node int) bool {
+	return e.Node < 0 || e.Node == node
 }
 
 // HandlerPanicAt consumes a due HandlerPanic event targeting handler:
@@ -364,15 +394,63 @@ func (p *Plan) DeliverDuplicateAt(src int, now int64) bool {
 	return false
 }
 
+// NodeCrashAt consumes a due NodeCrash event targeting node: true means
+// the node dies now. Each event fires once, like HandlerPanicAt.
+func (p *Plan) NodeCrashAt(node int, now int64) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.events {
+		e := &p.events[i]
+		if e.consumed || e.Kind != NodeCrash || e.Tick > now || !matchesNode(e.Event, node) {
+			continue
+		}
+		e.consumed = true
+		return true
+	}
+	return false
+}
+
+// NodePartitionedAt reports whether a NodePartition window covering node
+// is active at now. Window faults are not consumed; the controller asks
+// every heartbeat and every push attempt.
+func (p *Plan) NodePartitionedAt(node int, now int64) bool {
+	return p.nodeWindowActive(NodePartition, node, now)
+}
+
+// ACLPushErrorAt reports whether an ACLPushError window covering node is
+// active at now — consulted per push attempt, so a retry after the window
+// closes succeeds.
+func (p *Plan) ACLPushErrorAt(node int, now int64) bool {
+	return p.nodeWindowActive(ACLPushError, node, now)
+}
+
+func (p *Plan) nodeWindowActive(k Kind, node int, now int64) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.events {
+		if p.events[i].Kind == k && matchesNode(p.events[i].Event, node) && p.events[i].window(now) {
+			return true
+		}
+	}
+	return false
+}
+
 // RandomConfig parameterises Random's seeded schedule generation.
 type RandomConfig struct {
 	// HorizonSec bounds event ticks to [0, HorizonSec); <= 0 selects 60.
 	HorizonSec int64
-	// Handlers and Sources are the slot/source ranges targets are drawn
-	// from; <= 0 selects 1.
-	Handlers, Sources int
-	// Panics..Dups are per-kind event counts.
+	// Handlers, Sources and Nodes are the slot/source/node ranges targets
+	// are drawn from; <= 0 selects 1.
+	Handlers, Sources, Nodes int
+	// Panics..PushErrs are per-kind event counts.
 	Panics, Stalls, SweepStalls, InstallErrs, Delays, Dups int
+	Crashes, Partitions, PushErrs                          int
 	// MaxStallSec caps stall/window/delay lengths; <= 0 selects 3.
 	MaxStallSec int64
 }
@@ -388,6 +466,9 @@ func Random(seed int64, cfg RandomConfig) *Plan {
 	}
 	if cfg.Sources <= 0 {
 		cfg.Sources = 1
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
 	}
 	if cfg.MaxStallSec <= 0 {
 		cfg.MaxStallSec = 3
@@ -420,6 +501,15 @@ func Random(seed int64, cfg RandomConfig) *Plan {
 	})
 	emit(cfg.Dups, DeliverDuplicate, func() Event {
 		return Event{Tick: tick(), Handler: -1, Source: rng.Intn(cfg.Sources)}
+	})
+	emit(cfg.Crashes, NodeCrash, func() Event {
+		return Event{Tick: tick(), Handler: -1, Source: -1, Node: rng.Intn(cfg.Nodes)}
+	})
+	emit(cfg.Partitions, NodePartition, func() Event {
+		return Event{Tick: tick(), Handler: -1, Source: -1, Node: rng.Intn(cfg.Nodes), Duration: dur()}
+	})
+	emit(cfg.PushErrs, ACLPushError, func() Event {
+		return Event{Tick: tick(), Handler: -1, Source: -1, Node: rng.Intn(cfg.Nodes), Duration: dur()}
 	})
 	return p
 }

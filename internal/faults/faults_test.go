@@ -171,3 +171,78 @@ func TestRandomDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestNodeFaults: the node-level kinds follow the same mechanics as their
+// single-box cousins — NodeCrash consumes once per event, partition and
+// push-error windows hold for [Tick, Tick+Duration) filtered by node.
+func TestNodeFaults(t *testing.T) {
+	p := faults.NewPlan(
+		faults.Event{Tick: 5, Kind: faults.NodeCrash, Node: 1},
+		faults.Event{Tick: 10, Kind: faults.NodePartition, Node: 2, Duration: 4},
+		faults.Event{Tick: 12, Kind: faults.ACLPushError, Node: -1, Duration: 2},
+	)
+	if p.NodeCrashAt(1, 4) {
+		t.Error("crash fired before its tick")
+	}
+	if p.NodeCrashAt(0, 5) {
+		t.Error("crash fired for the wrong node")
+	}
+	if !p.NodeCrashAt(1, 6) {
+		t.Error("late query missed a due crash")
+	}
+	if p.NodeCrashAt(1, 7) {
+		t.Error("crash fired twice")
+	}
+
+	for now, want := range map[int64]bool{9: false, 10: true, 13: true, 14: false} {
+		if got := p.NodePartitionedAt(2, now); got != want {
+			t.Errorf("NodePartitionedAt(2, %d) = %v, want %v", now, got, want)
+		}
+	}
+	if p.NodePartitionedAt(0, 11) {
+		t.Error("partition leaked onto an untargeted node")
+	}
+	// Windows are not consumed; node -1 matches every node.
+	if !p.ACLPushErrorAt(0, 12) || !p.ACLPushErrorAt(3, 13) || !p.ACLPushErrorAt(0, 12) {
+		t.Error("any-node push-error window misbehaved")
+	}
+	if p.ACLPushErrorAt(0, 14) {
+		t.Error("push-error window held past its duration")
+	}
+
+	// Nil-plan contract extends to the node queries.
+	var nilP *faults.Plan
+	if nilP.NodeCrashAt(0, 1) || nilP.NodePartitionedAt(0, 1) || nilP.ACLPushErrorAt(0, 1) {
+		t.Error("nil plan reported a node fault")
+	}
+}
+
+// TestRandomNodeFaults: seeded generation covers the node kinds
+// deterministically and respects the node range.
+func TestRandomNodeFaults(t *testing.T) {
+	cfg := faults.RandomConfig{
+		HorizonSec: 30, Nodes: 4,
+		Crashes: 2, Partitions: 2, PushErrs: 2,
+	}
+	a, b := faults.Random(7, cfg), faults.Random(7, cfg)
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatal("same seed produced different node schedules")
+	}
+	if n := len(a.Events()); n != 6 {
+		t.Fatalf("event count = %d, want 6", n)
+	}
+	for _, e := range a.Events() {
+		if e.Node < 0 || e.Node >= 4 {
+			t.Errorf("%v targets node %d outside [0,4)", e.Kind, e.Node)
+		}
+		switch e.Kind {
+		case faults.NodePartition, faults.ACLPushError:
+			if e.Duration <= 0 {
+				t.Errorf("%v has no window duration", e.Kind)
+			}
+		case faults.NodeCrash:
+		default:
+			t.Errorf("unexpected kind %v in node-only config", e.Kind)
+		}
+	}
+}

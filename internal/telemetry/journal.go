@@ -55,6 +55,32 @@ const (
 	// EvFaultInjected: a scheduled fault from internal/faults fired
 	// (note names the fault kind, actor = its target).
 	EvFaultInjected
+	// EvNodeSuspect: the fleet failure detector saw a node miss enough
+	// consecutive heartbeats to suspect it (actor = node, value = missed
+	// heartbeats). No failover yet — a short partition heals from here.
+	EvNodeSuspect
+	// EvNodeDead: the failure detector declared a node dead (actor =
+	// node, value = missed heartbeats); tenant failover follows.
+	EvNodeDead
+	// EvNodeRejoin: a suspected node answered heartbeats again (actor =
+	// node, value = the ACL generations it fell behind while unreachable).
+	EvNodeRejoin
+	// EvNodeStale: a node is serving on an old ACL generation (actor =
+	// node, value = generations behind) — graceful degradation, reported
+	// once per widening of the gap instead of stalling the dataplane.
+	EvNodeStale
+	// EvTenantFailover: the scheduler re-placed a dead node's tenant
+	// (actor = destination node, note names the tenant and origin).
+	EvTenantFailover
+	// EvACLPush: the fleet controller applied an ACL generation on a node
+	// (actor = node, value = generation).
+	EvACLPush
+	// EvACLPushRetry: a push attempt failed (partition or push fault) and
+	// was rescheduled with backoff (actor = node, value = attempt count).
+	EvACLPushRetry
+	// EvACLConverged: every live node reached the target ACL generation
+	// (value = generation).
+	EvACLConverged
 )
 
 // String names the kind for timelines.
@@ -92,6 +118,22 @@ func (k EventKind) String() string {
 		return "delivery-fault"
 	case EvFaultInjected:
 		return "fault-injected"
+	case EvNodeSuspect:
+		return "node-suspect"
+	case EvNodeDead:
+		return "node-dead"
+	case EvNodeRejoin:
+		return "node-rejoin"
+	case EvNodeStale:
+		return "node-stale"
+	case EvTenantFailover:
+		return "tenant-failover"
+	case EvACLPush:
+		return "acl-push"
+	case EvACLPushRetry:
+		return "acl-push-retry"
+	case EvACLConverged:
+		return "acl-converged"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -105,6 +147,9 @@ func (k EventKind) actorNoun() string {
 		return "handler"
 	case EvBreakerTrip, EvBreakerHalfOpen, EvBreakerClose, EvQuotaRetune, EvACLSwap:
 		return "port"
+	case EvNodeSuspect, EvNodeDead, EvNodeRejoin, EvNodeStale, EvTenantFailover,
+		EvACLPush, EvACLPushRetry:
+		return "node"
 	default:
 		return ""
 	}
@@ -139,6 +184,14 @@ func (e Event) body() string {
 			s += fmt.Sprintf(" p99=%ds", e.Value)
 		case EvQuotaRetune:
 			s += fmt.Sprintf(" quota=%d", e.Value)
+		case EvACLPush, EvACLConverged:
+			s += fmt.Sprintf(" gen=%d", e.Value)
+		case EvNodeSuspect, EvNodeDead:
+			s += fmt.Sprintf(" missed=%d", e.Value)
+		case EvNodeStale, EvNodeRejoin:
+			s += fmt.Sprintf(" behind=%d", e.Value)
+		case EvACLPushRetry:
+			s += fmt.Sprintf(" attempt=%d", e.Value)
 		default:
 			s += fmt.Sprintf(" n=%d", e.Value)
 		}
