@@ -22,6 +22,8 @@
 //	tsebench -compare BENCH_pr2.json ... BENCH_pr9.json  # >2 files:
 //	                         # trajectory mode, per-family sparkline across
 //	                         # the whole committed series (informational)
+//	tsebench -replay mix.trace  # replay a tsegen -emit-trace file through
+//	                         # the datapath at wire rate; prints achieved Mpps
 //	tsebench -serve :8080 -fig all  # live telemetry while the figures run:
 //	                         # /metrics /journal /debug/vars /debug/pprof/
 //	tsebench -trace out.json -fig portfairness  # export sampled flow-setup
@@ -54,6 +56,10 @@ func main() {
 		"serve live telemetry (/metrics, /journal, /debug/vars, /debug/pprof/) on this address while running, then block")
 	trace := flag.String("trace", "",
 		"export sampled flow-setup spans from the run as chrome://tracing JSON to this path")
+	replay := flag.String("replay", "",
+		"replay a binary flow trace (tsegen -emit-trace) through the datapath at wire rate and report achieved Mpps")
+	prefetch := flag.Int("prefetch", 0,
+		"with -replay: cache lines of prefetch per burst (0 disables the prefetch pass)")
 	flag.Parse()
 
 	if *compare {
@@ -77,6 +83,14 @@ func main() {
 
 	if *jsonPath != "" {
 		if err := experiments.WriteBenchJSON(os.Stdout, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "tsebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *replay != "" {
+		if err := experiments.RunTraceReplay(os.Stdout, *replay, *workers, *prefetch); err != nil {
 			fmt.Fprintln(os.Stderr, "tsebench:", err)
 			os.Exit(1)
 		}

@@ -1,15 +1,26 @@
-// Command tsegen generates an adversarial TSE packet trace as a pcap file.
+// Command tsegen generates an adversarial TSE packet trace as a pcap
+// file, or — with -emit-trace — as a compact binary flow trace for
+// wire-rate replay through tsebench -replay.
 //
 // Usage:
 //
 //	tsegen -use SipSpDp -mode colocated -out attack.pcap
 //	tsegen -use SipDp -mode general -n 50000 -seed 7 -out rand.pcap
+//	tsegen -emit-trace mix.trace -seconds 10 -attack none
+//	tsegen -emit-trace atk.trace -seconds 10 -attack tse -rate 20000
+//	tsegen -emit-trace conv.trace -from-pcap capture.pcap
 //
 // The co-located mode emits the §5.1 bit-inversion outer product for the
 // chosen §5.2 use-case ACL; the general mode emits uniformly random
 // headers over the fields the ACL shape targets (§6.1). Frames are UDP
 // (offloads cannot shield UDP, §5.4) destined to -dst, with noise in
 // non-classified fields when -noise is set.
+//
+// Trace mode (-emit-trace) synthesises a multi-port victim mix at
+// -victim-pps per victim for -seconds virtual seconds; -attack tse
+// merges the co-located TSE flood for the -use ACL on in_port 0 at
+// -rate pps. -from-pcap instead converts an existing pcap capture
+// record-for-record.
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"tse/internal/flowtable"
 	"tse/internal/packet"
 	"tse/internal/pcap"
+	"tse/internal/trace"
 )
 
 func main() {
@@ -43,6 +55,13 @@ func run() error {
 	dst := flag.String("dst", "192.168.0.3", "destination (attacker VM) IPv4 address")
 	noise := flag.Bool("noise", true, "randomise unclassified header bits (microflow noise)")
 	skipAllow := flag.Bool("skip-allow", false, "co-located: skip allow-matching combos")
+	emitTrace := flag.String("emit-trace", "", "write a binary flow trace to this path instead of a pcap")
+	seconds := flag.Int("seconds", 10, "trace mode: virtual seconds of traffic to synthesise")
+	attack := flag.String("attack", "none", "trace mode: attack preset, none or tse")
+	victims := flag.Int("victims", 64, "trace mode: number of victim flows")
+	victimPps := flag.Int("victim-pps", 2000, "trace mode: packets per second per victim flow")
+	ports := flag.Int("ports", 4, "trace mode: virtual ports (port 0 carries the attack)")
+	fromPcap := flag.String("from-pcap", "", "trace mode: convert this pcap instead of synthesising")
 	flag.Parse()
 
 	u, err := flowtable.ParseUseCase(*use)
@@ -50,6 +69,25 @@ func run() error {
 		return err
 	}
 	tbl := flowtable.UseCaseACL(u, flowtable.ACLParams{})
+
+	if *emitTrace != "" {
+		if *fromPcap != "" {
+			return convertPcap(*fromPcap, *emitTrace)
+		}
+		opts := trace.SynthOptions{
+			Seconds: *seconds, Victims: *victims, VictimPps: *victimPps, Ports: *ports}
+		if *attack == "tse" {
+			atk, err := core.CoLocated(tbl, core.CoLocatedOptions{
+				SkipAllowCombos: *skipAllow, Noise: *noise, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			opts.Attack, opts.AttackPps = atk, *rate
+		} else if *attack != "none" {
+			return fmt.Errorf("unknown -attack %q (want none or tse)", *attack)
+		}
+		return emitSynthTrace(*emitTrace, opts, u, *attack)
+	}
 	dstIP := net.ParseIP(*dst).To4()
 	if dstIP == nil {
 		return fmt.Errorf("bad -dst %q", *dst)
@@ -98,5 +136,58 @@ func run() error {
 	}
 	fmt.Printf("wrote %d packets (%s %s against the %s ACL) to %s\n",
 		tr.Len(), *mode, "TSE trace", u, *out)
+	return nil
+}
+
+// emitSynthTrace renders the synthetic workload to a binary flow trace.
+func emitSynthTrace(path string, opts trace.SynthOptions, u flowtable.UseCase, attack string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, bitvec.IPv4Tuple)
+	if err != nil {
+		return err
+	}
+	if err := trace.Synthesize(w, opts); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d trace records (%d virtual s, attack %s, %s ACL) to %s\n",
+		w.Count(), opts.Seconds, attack, u, path)
+	return nil
+}
+
+// convertPcap converts a pcap capture into a binary flow trace, all
+// frames assigned to in_port 1 (port 0 is the attack port by
+// convention).
+func convertPcap(in, out string) error {
+	pf, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	pr, err := pcap.NewReader(pf)
+	if err != nil {
+		return err
+	}
+	tf, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	w, err := trace.NewWriter(tf, bitvec.IPv4Tuple)
+	if err != nil {
+		return err
+	}
+	converted, skipped, err := trace.FromPcap(pr, w, 1)
+	if err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("converted %d pcap frames (%d skipped) from %s to %s\n",
+		converted, skipped, in, out)
 	return nil
 }

@@ -87,6 +87,16 @@ type Config struct {
 	// registry shard at burst end — a handful of padded atomic adds per
 	// 32-packet burst, nothing per packet.
 	Metrics *telemetry.Registry
+	// PrefetchDepth, when > 0, runs a software-prefetch pass at the head
+	// of every burst before the lookup loop: each packet's EMC
+	// fingerprint slot is touched (microflow.Cache.PrefetchBatch), and
+	// the leading PrefetchDepth cache lines of the classifier's probe
+	// mirror are streamed (tss.Handle.PrefetchScan) — the DPDK idiom
+	// where the PMD issues prefetches for the burst's cache lines while
+	// earlier packets are still being processed. 0 disables the pass
+	// (the default; the win is workload-dependent and the replay engine
+	// exposes it as a knob).
+	PrefetchDepth int
 }
 
 // WorkerStats aggregates one worker's activity.
@@ -155,6 +165,7 @@ type Pool struct {
 	sw          *vswitch.Switch
 	batch       int
 	ports       int
+	prefetch    int // prefetch pass depth in cache lines; 0 = off
 	workers     []*worker
 	assign      []int // per-header worker index of the latest dispatch
 	up          *upcall.Subsystem
@@ -233,6 +244,10 @@ type worker struct {
 	missPorts  []int
 	verdicts   []vswitch.Verdict
 	tickets    []pendingTicket
+
+	// sink accumulates the prefetch pass's touched words so the loads
+	// cannot be elided; per-worker, so no cross-goroutine write.
+	sink uint64
 }
 
 // pendingTicket is one in-flight upcall of the current burst: the ticket
@@ -257,7 +272,7 @@ func New(cfg Config) (*Pool, error) {
 		cfg.Ports = cfg.Workers
 	}
 	p := &Pool{sw: cfg.Switch, batch: cfg.BatchSize, ports: cfg.Ports,
-		srcByWorker: cfg.SourceByWorker}
+		prefetch: cfg.PrefetchDepth, srcByWorker: cfg.SourceByWorker}
 	if cfg.Metrics != nil {
 		p.tm = newPoolMetrics(cfg.Metrics)
 	}
@@ -495,6 +510,12 @@ func (w *worker) burst(p *Pool, hs []bitvec.Vec, idx, ports []int, now int64, ou
 }
 
 func (w *worker) burstRun(p *Pool, hs []bitvec.Vec, idx, ports []int, now int64, out []vswitch.Verdict, deferred bool) {
+	if p.prefetch > 0 {
+		if w.emc != nil {
+			w.sink ^= w.emc.PrefetchBatch(hs)
+		}
+		w.sink ^= w.mfc.PrefetchScan(p.prefetch)
+	}
 	w.stats.Packets += uint64(len(hs))
 	for _, port := range ports {
 		w.portStats[port].Packets++

@@ -21,13 +21,15 @@ import (
 // loop (the per-pop histogram update and the per-second quantile read the
 // flow-setup latency metric added), and the telemetry primitives
 // themselves (a counter increment or histogram observe that slows down or
-// starts allocating taxes every instrumented family at once). Other
-// results (scenario summaries) are trajectory data but not gated: they
-// mix policy with speed.
+// starts allocating taxes every instrumented family at once), and the
+// trace-replay ingest path (the mmap'd zero-copy decode and its
+// burst-dispatch composition — the wire-rate numbers are only meaningful
+// while that loop stays lean). Other results (scenario summaries) are
+// trajectory data but not gated: they mix policy with speed.
 var regressionPrefixes = []string{
 	"tss_lookup_miss_", "victim_lookup_",
 	"tss_install_", "upcall_submit_", "upcall_roundtrip_",
-	"upcall_residence_", "telemetry_",
+	"upcall_residence_", "telemetry_", "trace_replay_",
 }
 
 // RegressionFactor is the slowdown the gate tolerates between two

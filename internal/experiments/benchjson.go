@@ -17,6 +17,7 @@ import (
 	"tse/internal/flowtable"
 	"tse/internal/microflow"
 	"tse/internal/telemetry"
+	trc "tse/internal/trace"
 	"tse/internal/tss"
 	"tse/internal/upcall"
 	"tse/internal/vswitch"
@@ -41,8 +42,11 @@ import (
 // snapshot in the metrics field; v7 adds the FleetChaos-* scenario rows
 // (the N-node cluster fabric under node death, controller partition and
 // push failures) and their containment fields (blast_radius_frac,
-// failover_sec, acl_convergence_sec — -1/-1 on single-box rows).
-const BenchSchema = "tse-bench/v7"
+// failover_sec, acl_convergence_sec — -1/-1 on single-box rows); v8 adds
+// the trace_replay_* micro-benchmarks (mmap'd zero-copy trace ingest:
+// decode, decode+burst-dispatch, parallel replay) and the Replay-*
+// scenario rows with their achieved-ingest mpps field.
+const BenchSchema = "tse-bench/v8"
 
 // BenchResult is one measured micro-benchmark in the JSON report.
 type BenchResult struct {
@@ -111,6 +115,11 @@ type ScenarioResult struct {
 	BlastRadiusFrac   float64 `json:"blast_radius_frac"`
 	FailoverSec       int     `json:"failover_sec"`
 	ACLConvergenceSec int     `json:"acl_convergence_sec"`
+	// Mpps is the achieved ingest rate of Replay-* rows — millions of
+	// packets per wall second sustained through decode plus
+	// classification; 0 on virtual-time scenario rows, where wall-clock
+	// rate is meaningless.
+	Mpps float64 `json:"mpps,omitempty"`
 	// WallMs is the host wall-clock time of the run (informational; the
 	// scenario itself is virtual-time deterministic).
 	WallMs float64 `json:"wall_ms"`
@@ -514,6 +523,99 @@ func BenchJSON() (*BenchReport, error) {
 		last.Extra["per_install_ns"] = last.NsPerOp / burst
 	}
 
+	// Trace-replay ingest: the wire-rate path tsebench -replay drives.
+	// trace_replay_decode is the pure mmap-image→SoA-batch decode;
+	// trace_replay_burst adds the serial dispatch through the pool's
+	// 32-packet bursts on a warm EMC. Both must stay at 0 allocs/op —
+	// the zero-copy contract of the ingest path — and the gate watches
+	// their timings. trace_replay_parallel replays the same mix through a
+	// 4-worker pool with goroutine dispatch (on a 1-core host this prices
+	// the handoff, not parallel ingest; see GoMaxProcs).
+	{
+		mkImage := func(attack bool) ([]byte, error) {
+			opts := trc.SynthOptions{Seconds: 1, Victims: 16, VictimPps: 500, Ports: 4}
+			if attack {
+				tbl := flowtable.UseCaseACL(flowtable.SipSpDp, flowtable.ACLParams{})
+				atk, err := core.CoLocated(tbl, core.CoLocatedOptions{Noise: true, Seed: 1})
+				if err != nil {
+					return nil, err
+				}
+				opts.Attack, opts.AttackPps = atk, 500
+			}
+			var buf trc.Buffer
+			w, err := trc.NewWriter(&buf, bitvec.IPv4Tuple)
+			if err != nil {
+				return nil, err
+			}
+			if err := trc.Synthesize(w, opts); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		}
+		image, err := mkImage(false)
+		if err != nil {
+			return nil, err
+		}
+		rd, err := trc.NewReader(image)
+		if err != nil {
+			return nil, err
+		}
+		batch := trc.NewBatch(rd.Words(), trc.DefaultChunk)
+		add("trace_replay_decode", map[string]float64{"chunk": trc.DefaultChunk},
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if rd.Next(batch) == 0 {
+						rd.Reset()
+					}
+				}
+			})
+		mkPool := func(workers int) (*datapath.Pool, error) {
+			tbl := flowtable.UseCaseACL(flowtable.SipSpDp, flowtable.ACLParams{})
+			sw, err := vswitch.New(vswitch.Config{Table: tbl, DisableMicroflow: true})
+			if err != nil {
+				return nil, err
+			}
+			return datapath.New(datapath.Config{
+				Switch: sw, Workers: workers, Ports: 4, PrefetchDepth: 8})
+		}
+		pool, err := mkPool(1)
+		if err != nil {
+			return nil, err
+		}
+		rr := &trc.Replayer{Pool: pool, Serial: true}
+		rd.Reset()
+		rr.Run(rd) // warm: EMC primed, dispatch buffers grown
+		rd.Reset()
+		add("trace_replay_burst", map[string]float64{"chunk": trc.DefaultChunk},
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					n := rd.Next(batch)
+					if n == 0 {
+						rd.Reset()
+						continue
+					}
+					rr.Dispatch(batch, 0)
+				}
+			})
+		pool4, err := mkPool(4)
+		if err != nil {
+			return nil, err
+		}
+		rd.Reset()
+		rr4 := &trc.Replayer{Pool: pool4}
+		addW("trace_replay_parallel", 4,
+			map[string]float64{"pkts_per_op": float64(rd.Count())},
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					rd.Reset()
+					rr4.Run(rd)
+				}
+			})
+	}
+
 	// The upcall-saturation suite: the slow-path overload regime of the
 	// paper (every attack packet a flow miss), unbounded vs bounded. The
 	// series is folded by the same summarise the `saturation` experiment
@@ -676,6 +778,38 @@ func BenchJSON() (*BenchReport, error) {
 			}
 		}
 		rep.Scenarios = append(rep.Scenarios, row)
+	}
+
+	// The replay suite: achieved wall-clock ingest for the two canned
+	// traces. Victim-mix is the wire-rate ceiling (the CI smoke asserts
+	// it nonzero); the TSE row pins the collapse-under-attack rate and
+	// mask count in the trajectory. The virtual-time fields carry their
+	// not-applicable conventions (-1).
+	for _, preset := range []dataplane.ReplayPreset{
+		dataplane.ReplayVictimMix,
+		dataplane.ReplayTSE,
+	} {
+		rd, _, err := dataplane.ReplayScenario(preset, 2)
+		if err != nil {
+			return nil, err
+		}
+		res, err := dataplane.RunReplay(dataplane.ReplayConfig{
+			PrefetchDepth: 8, TickSwitch: true}, rd)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scenarios = append(rep.Scenarios, ScenarioResult{
+			Name:              "Replay-" + string(preset),
+			Workers:           1,
+			PeakMasks:         res.Masks,
+			FctP50UnderSec:    -1,
+			FctP99UnderSec:    -1,
+			RecoverySec:       -1,
+			FailoverSec:       -1,
+			ACLConvergenceSec: -1,
+			Mpps:              res.Mpps,
+			WallMs:            res.WallMs,
+		})
 	}
 	return rep, nil
 }

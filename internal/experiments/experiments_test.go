@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"constructions", "masks", "ipv6", "cms", "alt", "guard", "theorems",
 		"fig9a", "fig8a", "fig8b", "fig8c", "fig9b", "fig9c", "general",
 		"remedies", "bandwidth", "multicore", "saturation", "stagedscan",
-		"portfairness", "chaos", "fleetchaos",
+		"portfairness", "chaos", "fleetchaos", "replay",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

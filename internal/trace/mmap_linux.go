@@ -1,0 +1,25 @@
+//go:build linux
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmap maps size bytes of f read-only. A zero-length file maps to an
+// empty (unmappable) slice, since mmap(2) rejects length 0.
+func mmap(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,22 @@
+//go:build !linux
+
+package trace
+
+import (
+	"io"
+	"os"
+)
+
+// mmap falls back to reading the file into memory on platforms where
+// the repository does not wire the mapping syscall. The Reader's
+// contract (decode from a byte image) is unchanged; only the zero-copy
+// property of Open is.
+func mmap(f *os.File, size int64) ([]byte, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func munmap([]byte) error { return nil }

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"tse/internal/bitvec"
+	"tse/internal/packet"
+	"tse/internal/pcap"
+)
+
+// FromPcap converts a pcap stream into trace records: each frame is
+// parsed, its IPv4 5-tuple flow key extracted, and a record written
+// with tick = the capture timestamp's whole second and in_port = port.
+// Frames that do not parse to an IPv4 flow key (ARP, IPv6, truncated
+// frames, transport-less protocols) are skipped and counted. The writer
+// must use the bitvec.IPv4Tuple layout. Returns (converted, skipped).
+func FromPcap(pr *pcap.Reader, w *Writer, port int) (int, int, error) {
+	if w.words != bitvec.IPv4Tuple.Words() {
+		return 0, 0, fmt.Errorf("trace: pcap conversion needs an IPv4Tuple writer")
+	}
+	converted, skipped := 0, 0
+	for {
+		rec, err := pr.Next()
+		if err == io.EOF {
+			return converted, skipped, nil
+		}
+		if err != nil {
+			return converted, skipped, err
+		}
+		p, err := packet.Parse(rec.Data, packet.ParseOptions{})
+		if err != nil {
+			skipped++
+			continue
+		}
+		key, err := p.FlowKey4()
+		if err != nil {
+			skipped++
+			continue
+		}
+		if err := w.WriteRecord(int64(rec.TsSec), port, key); err != nil {
+			return converted, skipped, err
+		}
+		converted++
+	}
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"tse/internal/bitvec"
+	"tse/internal/packet"
+	"tse/internal/pcap"
+)
+
+// TestFromPcapRoundTrip crafts real Ethernet/IPv4 frames from flow
+// keys, writes them through the pcap layer, converts the capture to a
+// trace, and asserts every flow key survives both hops intact (with a
+// garbage frame in the middle counted as skipped, not fatal).
+func TestFromPcapRoundTrip(t *testing.T) {
+	l := bitvec.IPv4Tuple
+	keys := []bitvec.Vec{VictimHeader(0), VictimHeader(1), VictimHeader(2)}
+
+	var pcapBuf bytes.Buffer
+	pw := pcap.NewWriter(&pcapBuf)
+	for i, k := range keys {
+		frame, err := packet.Craft(l, k, packet.CraftOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := pcap.Record{TsSec: uint32(10 + i), Data: frame, OrigLen: uint32(len(frame))}
+		if err := pw.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 { // a non-IPv4 frame the converter must skip
+			junk := pcap.Record{TsSec: uint32(10 + i), Data: []byte{0xde, 0xad}, OrigLen: 2}
+			if err := pw.WriteRecord(junk); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	pr, err := pcap.NewReader(bytes.NewReader(pcapBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traceBuf Buffer
+	w, err := NewWriter(&traceBuf, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	converted, skipped, err := FromPcap(pr, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if converted != len(keys) || skipped != 1 {
+		t.Fatalf("converted %d skipped %d, want %d and 1", converted, skipped, len(keys))
+	}
+
+	r, err := NewReader(traceBuf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(r.Words(), 8)
+	n := r.Next(b)
+	if n != len(keys) {
+		t.Fatalf("decoded %d records, want %d", n, len(keys))
+	}
+	for i := 0; i < n; i++ {
+		if !b.Keys[i].Equal(keys[i]) {
+			t.Fatalf("record %d: key %v, want %v", i, b.Keys[i], keys[i])
+		}
+		if b.Ticks[i] != int64(10+i) || b.Ports[i] != 3 {
+			t.Fatalf("record %d: tick %d port %d, want %d and 3", i, b.Ticks[i], b.Ports[i], 10+i)
+		}
+	}
+}
+
+// TestFromPcapRejectsWrongLayout asserts the converter refuses a writer
+// that is not IPv4Tuple-shaped.
+func TestFromPcapRejectsWrongLayout(t *testing.T) {
+	var pcapBuf bytes.Buffer
+	pw := pcap.NewWriter(&pcapBuf)
+	if err := pw.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := pcap.NewReader(bytes.NewReader(pcapBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traceBuf Buffer
+	w, err := NewWriter(&traceBuf, bitvec.IPv6Tuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := FromPcap(pr, w, 0); err == nil {
+		t.Fatal("IPv6Tuple writer accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"fmt"
+
+	"tse/internal/bitvec"
+	"tse/internal/core"
+)
+
+// SynthOptions describes a synthetic workload to render as a trace: a
+// victim mix (N long-lived benign flows at a fixed per-flow rate, the
+// traffic every dataplane scenario prices) optionally interleaved with
+// an adversarial flood cycled from a core.Trace. tsegen's -emit-trace,
+// the replay experiment, and the dataplane replay presets all share
+// this one definition, so "the victim-mix trace" means the same packet
+// sequence everywhere.
+type SynthOptions struct {
+	// Layout is the flow-key layout; nil selects bitvec.IPv4Tuple.
+	Layout *bitvec.Layout
+	// Seconds is the trace duration in virtual seconds (ticks).
+	Seconds int
+	// Victims is the number of distinct benign flows; VictimPps is each
+	// flow's per-second packet rate. Victim i's packets arrive on vport
+	// 1 + i%(Ports-1) (vport 0 is the attack port), or vport 0 when
+	// Ports == 1.
+	Victims   int
+	VictimPps int
+	// Ports is the ingress vport count the ports column is generated
+	// over; <= 0 selects 4 (one attack port + three victim ports).
+	Ports int
+	// AttackPps is the flood's per-second packet rate; 0 disables the
+	// flood. Attack headers cycle through Attack.Headers in order and
+	// arrive on vport 0.
+	AttackPps int
+	// Attack is the adversarial sequence to cycle (e.g. core.CoLocated
+	// over a use-case ACL). Required when AttackPps > 0.
+	Attack *core.Trace
+}
+
+// VictimHeader builds benign flow i's classifier key: a TCP connection
+// from a distinct source to the victim service at 192.168.0.2:80 — the
+// same shape the dataplane scenarios use, so replay traffic matches
+// rule #1 of every use-case ACL.
+func VictimHeader(i int) bitvec.Vec {
+	l := bitvec.IPv4Tuple
+	h := bitvec.NewVec(l)
+	set := func(name string, v uint64) {
+		f, _ := l.FieldIndex(name)
+		h.SetField(l, f, v)
+	}
+	set("ip_src", uint64(0x0a000100+uint32(i)))
+	set("ip_dst", 0xc0a80002)
+	set("ip_proto", 6)
+	set("tp_src", uint64(40000+i))
+	set("tp_dst", 80)
+	return h
+}
+
+// SynthRecords generates the workload's packet sequence in arrival
+// order, calling emit for every record. Within a tick the victim and
+// attack streams are merged by ideal arrival time (each stream evenly
+// spaced over the second), so the interleave is deterministic and
+// rate-faithful. Victim packets round-robin across the victim flows.
+func SynthRecords(opts SynthOptions, emit func(tick int64, port int, key bitvec.Vec) error) error {
+	l := opts.Layout
+	if l == nil {
+		l = bitvec.IPv4Tuple
+	}
+	if opts.Ports <= 0 {
+		opts.Ports = 4
+	}
+	if opts.Seconds <= 0 {
+		return fmt.Errorf("trace: synth needs Seconds > 0")
+	}
+	aPer := opts.AttackPps
+	if aPer > 0 && (opts.Attack == nil || opts.Attack.Len() == 0) {
+		return fmt.Errorf("trace: AttackPps set but no attack trace")
+	}
+	if aPer > 0 && opts.Attack.Layout != l {
+		return fmt.Errorf("trace: attack trace layout %s != %s", opts.Attack.Layout, l)
+	}
+	vPer := opts.Victims * opts.VictimPps
+	if aPer == 0 && vPer == 0 {
+		return fmt.Errorf("trace: empty workload")
+	}
+	victims := make([]bitvec.Vec, opts.Victims)
+	vports := make([]int, opts.Victims)
+	for i := range victims {
+		victims[i] = VictimHeader(i)
+		if opts.Ports > 1 {
+			vports[i] = 1 + i%(opts.Ports-1)
+		}
+	}
+	attackIdx := 0
+	for t := 0; t < opts.Seconds; t++ {
+		na, nv := 0, 0 // emitted this second, per stream
+		for na < aPer || nv < vPer {
+			// Emit whichever stream's next packet has the earlier ideal
+			// arrival time (na+½)/aPer vs (nv+½)/vPer, compared
+			// cross-multiplied in integers.
+			emitAttack := nv >= vPer ||
+				(na < aPer && (2*na+1)*vPer <= (2*nv+1)*aPer)
+			if emitAttack {
+				h := opts.Attack.Headers[attackIdx]
+				attackIdx++
+				if attackIdx == opts.Attack.Len() {
+					attackIdx = 0
+				}
+				if err := emit(int64(t), 0, h); err != nil {
+					return err
+				}
+				na++
+			} else {
+				i := nv % opts.Victims
+				if err := emit(int64(t), vports[i], victims[i]); err != nil {
+					return err
+				}
+				nv++
+			}
+		}
+	}
+	return nil
+}
+
+// Synthesize renders the workload through w (SynthRecords into
+// w.WriteRecord) and closes the writer, patching the record count.
+func Synthesize(w *Writer, opts SynthOptions) error {
+	if err := SynthRecords(opts, w.WriteRecord); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// GoldenOptions is the tiny fixed workload behind
+// testdata/golden_victim_mix.trace: two victims at 64 pps for one
+// second, no attack. The golden test regenerates it and asserts the
+// bytes are identical to the committed file, pinning the format.
+func GoldenOptions() SynthOptions {
+	return SynthOptions{Seconds: 1, Victims: 2, VictimPps: 64, Ports: 4}
+}

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tse/internal/bitvec"
+)
+
+// writeTemp renders a trace file on disk and returns its path.
+func writeTemp(t *testing.T, opts SynthOptions) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := NewWriter(f, bitvec.IPv4Tuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Synthesize(w, opts); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRoundTrip is the encode→mmap-decode property test: random record
+// sequences written through the Writer and decoded through an mmap'd
+// Reader must reproduce the source exactly — every tick, port, and key
+// word.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	l := bitvec.IPv4Tuple
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(3000)
+		ticks := make([]int64, n)
+		ports := make([]int, n)
+		keys := make([]bitvec.Vec, n)
+		for i := range keys {
+			ticks[i] = int64(rng.Intn(100))
+			ports[i] = rng.Intn(16)
+			// Keys are stored and compared as raw words, so even bits
+			// above the layout width must round-trip.
+			k := bitvec.NewVec(l)
+			for w := range k {
+				k[w] = rng.Uint64()
+			}
+			keys[i] = k
+		}
+		path := filepath.Join(t.TempDir(), "rt.trace")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWriter(f, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range keys {
+			if err := w.WriteRecord(ticks[i], ports[i], keys[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		r, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Count(); got != uint64(n) {
+			t.Fatalf("trial %d: Count = %d, want %d", trial, got, n)
+		}
+		if r.LayoutString() != l.String() {
+			t.Fatalf("layout = %q, want %q", r.LayoutString(), l.String())
+		}
+		if rl, err := r.Layout(); err != nil || rl != l {
+			t.Fatalf("Layout() = %v, %v", rl, err)
+		}
+		b := NewBatch(r.Words(), 257) // deliberately unaligned with n
+		seen := 0
+		for {
+			m := r.Next(b)
+			if m == 0 {
+				break
+			}
+			for i := 0; i < m; i++ {
+				j := seen + i
+				if b.Ticks[i] != ticks[j] || b.Ports[i] != ports[j] || !b.Keys[i].Equal(keys[j]) {
+					t.Fatalf("trial %d record %d: got (%d,%d,%v), want (%d,%d,%v)",
+						trial, j, b.Ticks[i], b.Ports[i], b.Keys[i], ticks[j], ports[j], keys[j])
+				}
+			}
+			seen += m
+		}
+		if seen != n {
+			t.Fatalf("trial %d: decoded %d records, want %d", trial, seen, n)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGoldenTrace pins the on-disk format: regenerating the golden
+// victim-mix workload must byte-identically reproduce the committed
+// file, and the committed file must decode.
+func TestGoldenTrace(t *testing.T) {
+	var buf Buffer
+	w, err := NewWriter(&buf, bitvec.IPv4Tuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Synthesize(w, GoldenOptions()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/golden_victim_mix.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("regenerated golden trace differs from committed file (%d vs %d bytes)",
+			len(buf.Bytes()), len(want))
+	}
+	r, err := Open("testdata/golden_victim_mix.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Count() != 128 {
+		t.Fatalf("golden trace has %d records, want 128", r.Count())
+	}
+	b := NewBatch(r.Words(), 32)
+	total := 0
+	for {
+		n := r.Next(b)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if b.Ticks[i] != 0 {
+				t.Fatalf("golden record has tick %d, want 0", b.Ticks[i])
+			}
+			if b.Ports[i] < 1 || b.Ports[i] > 2 {
+				t.Fatalf("golden record on port %d, want 1 or 2", b.Ports[i])
+			}
+		}
+		total += n
+	}
+	if total != 128 {
+		t.Fatalf("decoded %d golden records, want 128", total)
+	}
+}
+
+// TestSynthesizeDeterministic asserts the shared generator is a pure
+// function of its options — tsegen, the experiments, and the presets
+// rely on "the same options" meaning "the same packets".
+func TestSynthesizeDeterministic(t *testing.T) {
+	render := func() []byte {
+		var buf Buffer
+		w, err := NewWriter(&buf, bitvec.IPv4Tuple)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Synthesize(w, SynthOptions{Seconds: 2, Victims: 3, VictimPps: 100, Ports: 4}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Fatal("two renders of the same SynthOptions differ")
+	}
+}
+
+// TestWriterRejectsBadRecords covers the writer's validation.
+func TestWriterRejectsBadRecords(t *testing.T) {
+	var buf Buffer
+	w, err := NewWriter(&buf, bitvec.IPv4Tuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(0, 0, make(bitvec.Vec, 3)); err == nil {
+		t.Error("wrong-width key accepted")
+	}
+	if err := w.WriteRecord(-1, 0, bitvec.NewVec(bitvec.IPv4Tuple)); err == nil {
+		t.Error("negative tick accepted")
+	}
+	if err := w.WriteRecord(0, -1, bitvec.NewVec(bitvec.IPv4Tuple)); err == nil {
+		t.Error("negative port accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"tse/internal/bitvec"
+)
+
+// Writer emits a trace file. It streams records through a buffered
+// writer (tsegen emits multi-GB traces) and back-patches the header's
+// record count on Close, so the caller never needs to know the count up
+// front.
+type Writer struct {
+	ws      io.WriteSeeker
+	bw      *bufio.Writer
+	words   int
+	count   uint64
+	scratch []byte
+	closed  bool
+}
+
+// NewWriter writes the header for layout l and returns a Writer whose
+// WriteRecord accepts keys of that layout.
+func NewWriter(ws io.WriteSeeker, l *bitvec.Layout) (*Writer, error) {
+	w := &Writer{
+		ws:      ws,
+		bw:      bufio.NewWriterSize(ws, 1<<16),
+		words:   l.Words(),
+		scratch: make([]byte, recordSize(l.Words())),
+	}
+	if _, err := w.bw.Write(encodeHeader(l, 0)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// WriteRecord appends one packet: its arrival tick (virtual second), its
+// ingress vport, and its flow key (which must match the layout's word
+// count). The key is copied; the caller keeps ownership.
+func (w *Writer) WriteRecord(tick int64, port int, key bitvec.Vec) error {
+	if len(key) != w.words {
+		return fmt.Errorf("trace: key has %d words, layout has %d", len(key), w.words)
+	}
+	if tick < 0 || tick > 0xffffffff {
+		return fmt.Errorf("trace: tick %d out of uint32 range", tick)
+	}
+	if port < 0 || port > 0xffffffff {
+		return fmt.Errorf("trace: port %d out of uint32 range", port)
+	}
+	binary.LittleEndian.PutUint32(w.scratch[0:], uint32(tick))
+	binary.LittleEndian.PutUint32(w.scratch[4:], uint32(port))
+	for i, word := range key {
+		binary.LittleEndian.PutUint64(w.scratch[8+8*i:], word)
+	}
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Close flushes buffered records and back-patches the header's record
+// count. It does not close the underlying file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if _, err := w.ws.Seek(countOffset, io.SeekStart); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], w.count)
+	if _, err := w.ws.Write(buf[:]); err != nil {
+		return err
+	}
+	_, err := w.ws.Seek(0, io.SeekEnd)
+	return err
+}
+
+// Buffer is an in-memory io.WriteSeeker, so tests and experiments can
+// build traces without touching the filesystem (NewReader replays the
+// bytes directly).
+type Buffer struct {
+	b   []byte
+	off int64
+}
+
+// Write implements io.Writer, growing the buffer as needed.
+func (b *Buffer) Write(p []byte) (int, error) {
+	end := b.off + int64(len(p))
+	if end > int64(len(b.b)) {
+		grown := make([]byte, end)
+		copy(grown, b.b)
+		b.b = grown
+	}
+	copy(b.b[b.off:end], p)
+	b.off = end
+	return len(p), nil
+}
+
+// Seek implements io.Seeker.
+func (b *Buffer) Seek(offset int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+	case io.SeekCurrent:
+		offset += b.off
+	case io.SeekEnd:
+		offset += int64(len(b.b))
+	default:
+		return 0, fmt.Errorf("trace: bad seek whence %d", whence)
+	}
+	if offset < 0 {
+		return 0, fmt.Errorf("trace: negative seek offset")
+	}
+	b.off = offset
+	return offset, nil
+}
+
+// Bytes returns the written trace image.
+func (b *Buffer) Bytes() []byte { return b.b }
